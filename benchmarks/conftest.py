@@ -1,0 +1,34 @@
+"""Shared benchmark scaffolding.
+
+Each benchmark file regenerates one paper artifact (see DESIGN.md §3) and
+prints a paper-shaped table via :func:`report` so `pytest benchmarks/
+--benchmark-only` output can be compared against the paper directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, rows: list[dict], columns: list[str]) -> None:
+    """Print a fixed-width table (shown with pytest -s or in summaries)."""
+    print(f"\n=== {title} ===")
+    widths = {
+        col: max(len(col), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns))
+
+
+@pytest.fixture(scope="session")
+def results_sink():
+    """Collects per-benchmark summaries; printed once at session end."""
+    sink: dict[str, list[dict]] = {}
+    yield sink
+    for title, rows in sink.items():
+        if rows:
+            report(title, rows, list(rows[0].keys()))

@@ -1,0 +1,67 @@
+"""A-CDN — caching bundle under a realistic Zipf request workload.
+
+Not a paper table (the paper doesn't evaluate its CDN), but the workhorse
+validation of the caching bundle: drive Zipf-skewed requests (α≈0.9, the
+measured CDN popularity regime) against edge caches of varying size and
+compare the achieved hit rate with the analytic ideal (mass of the
+hottest C objects). LRU under Zipf should track the ideal closely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.workloads import ZipfRequestStream
+from repro.services.caching import CacheStore
+
+from .conftest import report
+
+CATALOG = 2_000
+REQUESTS = 30_000
+ALPHA = 0.9
+
+_results: list[dict] = []
+
+
+def _run_cache(slots: int) -> tuple[float, float]:
+    stream = ZipfRequestStream(catalog_size=CATALOG, alpha=ALPHA, seed=42)
+    store = CacheStore(capacity=slots, default_ttl=1e9)
+    for i, obj in enumerate(stream.take(REQUESTS)):
+        url = f"/object/{obj}"
+        if store.get(url, now=float(i)) is None:
+            store.put(url, b"body", now=float(i))
+    return store.hit_rate, stream.expected_hit_rate(slots)
+
+
+@pytest.mark.parametrize("slots", [20, 100, 500, 2000])
+def test_zipf_hit_rate_tracks_ideal(benchmark, slots):
+    achieved, ideal = benchmark.pedantic(_run_cache, args=(slots,), rounds=1, iterations=1)
+    _results.append(
+        {
+            "cache slots": slots,
+            "achieved hit rate": f"{achieved:.3f}",
+            "ideal (top-C mass)": f"{ideal:.3f}",
+        }
+    )
+    # LRU trails the static (LFU-omniscient) ideal — by the well-known
+    # LRU-vs-LFU gap at alpha<1 plus compulsory misses — but stays within
+    # 20 points and always achieves a substantial fraction of it.
+    assert ideal - 0.20 <= achieved <= ideal
+    assert achieved > 0.4 * ideal
+
+
+def test_bigger_cache_never_hurts(benchmark):
+    def sweep():
+        return [_run_cache(n)[0] for n in (50, 200, 800)]
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert rates == sorted(rates)
+
+
+def teardown_module(module):
+    if _results:
+        report(
+            "A-CDN: edge cache vs Zipf workload (alpha=0.9)",
+            _results,
+            ["cache slots", "achieved hit rate", "ideal (top-C mass)"],
+        )

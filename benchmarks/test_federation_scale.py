@@ -1,0 +1,105 @@
+"""A-SCALE — federation-wide scaling sweep.
+
+How do the architecture's fixed costs grow with federation size? §3.2
+requires full-mesh edomain peering (borne out as cheap by C-PEER at the
+tunnel level); here we measure the *system-level* costs as edomains and
+SNs multiply: pipes established, deployment work, per-packet delivery
+latency, and end-to-end goodput across random host pairs.
+
+Expected shape: border pipes grow O(edomains²) (small constants), SN
+deployments O(SNs × services), and per-pair delivery latency stays flat —
+interconnection does not degrade as the federation grows.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import WellKnownService
+from repro.scenarios import metro_federation
+
+from .conftest import report
+
+_results: list[dict] = []
+
+
+def _run_scale(n_edomains: int, sns_per: int) -> dict:
+    handles = metro_federation(
+        n_edomains=n_edomains, sns_per_edomain=sns_per, hosts_per_sn=1
+    )
+    net = handles.net
+    rng = random.Random(5)
+    pairs = [
+        tuple(rng.sample(range(len(handles.hosts)), 2)) for _ in range(20)
+    ]
+    latencies = []
+    delivered = 0
+    for src_i, dst_i in pairs:
+        src, dst = handles.hosts[src_i], handles.hosts[dst_i]
+        conn = src.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=dst.address, allow_direct=False
+        )
+        start = net.sim.now
+        arrivals = []
+        dst.rx_tap = lambda frame, link: arrivals.append(net.sim.now)
+        src.send(conn, b"probe")
+        net.run(1.0)
+        if arrivals:
+            delivered += 1
+            latencies.append(arrivals[0] - start)
+        dst.rx_tap = None
+    latencies.sort()
+    n_borders = sum(
+        1
+        for sn in handles.sns
+        for peer in sn.keystore.contexts
+        if net.directory.edomain_of(peer)
+        and net.directory.edomain_of(peer) != sn.edomain_name
+    )
+    return {
+        "edomains": n_edomains,
+        "sns": len(handles.sns),
+        "delivered": delivered,
+        "median_ms": latencies[len(latencies) // 2] * 1e3 if latencies else None,
+        "border_pipe_ends": n_borders,
+    }
+
+
+@pytest.mark.parametrize(
+    "n_edomains,sns_per", [(2, 2), (4, 3), (8, 3)]
+)
+def test_federation_scale(benchmark, n_edomains, sns_per):
+    result = benchmark.pedantic(
+        _run_scale, args=(n_edomains, sns_per), rounds=1, iterations=1
+    )
+    assert result["delivered"] == 20  # universal reachability at any size
+    _results.append(
+        {
+            "edomains": result["edomains"],
+            "SNs": result["sns"],
+            "delivered": f"{result['delivered']}/20",
+            "median_ms": f"{result['median_ms']:.2f}",
+            "border pipe-ends": result["border_pipe_ends"],
+        }
+    )
+
+
+def test_latency_flat_as_federation_grows(benchmark):
+    def sweep():
+        return [_run_scale(n, 2)["median_ms"] for n in (2, 6)]
+
+    small, large = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # The path is always ≤ host→SN→border→border→SN→host regardless of
+    # federation size: median latency must not grow with edomain count.
+    assert large < small * 1.5
+
+
+def teardown_module(module):
+    if _results:
+        report(
+            "A-SCALE: federation growth sweep",
+            _results,
+            ["edomains", "SNs", "delivered", "median_ms", "border pipe-ends"],
+        )

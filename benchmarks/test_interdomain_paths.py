@@ -1,0 +1,91 @@
+"""A-INTER — ablation: border relay vs on-demand direct SN pipes (§3.2).
+
+Inter-edomain traffic defaults to relaying through each edomain's border
+SN; §3.2 allows establishing a direct SN↔SN pipe on demand. This ablation
+measures end-to-end latency for both (simulated time on identical
+topologies) and the relay's extra load on the border SNs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InterEdge, WellKnownService
+from repro.services import standard_registry
+
+from .conftest import report
+
+_results: list[dict] = []
+
+
+def _build(direct: bool):
+    net = InterEdge(registry=standard_registry())
+    net.create_edomain("west")
+    net.create_edomain("east")
+    net.add_sn("west", name="border-w")
+    inner_w = net.add_sn("west", name="inner-w")
+    net.add_sn("east", name="border-e")
+    inner_e = net.add_sn("east", name="inner-e")
+    net.peer_all(internal_latency=0.002, border_latency=0.010)
+    net.deploy_required_services()
+    if direct:
+        net.establish_direct(inner_w, inner_e, latency=0.011)
+    client = net.add_host(inner_w, name="client")
+    server = net.add_host(inner_e, name="server")
+    return net, client, server, inner_w, inner_e
+
+
+def _measure_latency(direct: bool, n_packets: int = 20) -> dict:
+    net, client, server, inner_w, inner_e = _build(direct)
+    conn = client.connect(
+        WellKnownService.IP_DELIVERY,
+        dest_addr=server.address,
+        dest_sn=inner_e.address,
+        allow_direct=False,
+    )
+    arrivals = []
+    sent_at = []
+    server.rx_tap = lambda frame, link: arrivals.append(net.sim.now)
+    for _ in range(n_packets):
+        sent_at.append(net.sim.now)
+        client.send(conn, b"p" * 100)
+        net.run(1.0)
+    latencies = [a - s for a, s in zip(arrivals, sent_at)]
+    border_w = net.edomains["west"].border_sn
+    return {
+        "median_latency_ms": sorted(latencies)[len(latencies) // 2] * 1e3,
+        "border_packets": border_w.terminus.stats.packets_in,
+        "hops": 3 if direct else 5,
+    }
+
+
+@pytest.mark.parametrize("direct", [False, True], ids=["relay", "direct"])
+def test_interdomain_path(benchmark, direct):
+    result = benchmark.pedantic(_measure_latency, args=(direct,), rounds=1, iterations=1)
+    _results.append(
+        {
+            "path": "direct pipe" if direct else "border relay",
+            "median_ms": f"{result['median_latency_ms']:.3f}",
+            "border SN pkts": result["border_packets"],
+        }
+    )
+
+
+def test_direct_beats_relay(benchmark):
+    def both():
+        return _measure_latency(False), _measure_latency(True)
+
+    relay, direct = benchmark.pedantic(both, rounds=1, iterations=1)
+    # The direct pipe removes two SN traversals; latency must drop.
+    assert direct["median_latency_ms"] < relay["median_latency_ms"]
+    # And the border SN is relieved of the transit load.
+    assert direct["border_packets"] < relay["border_packets"]
+
+
+def teardown_module(module):
+    if _results:
+        report(
+            "A-INTER: relay vs on-demand direct pipes",
+            _results,
+            ["path", "median_ms", "border SN pkts"],
+        )

@@ -1,0 +1,140 @@
+"""A-POSE — the cost of interposition itself (§4 motivation).
+
+§4 opens by noting today's interposition "is computationally inefficient
+(see [72] for an exploration of interposition overheads in service
+meshes)" because middleboxes terminate and re-originate connections. ILP
+avoids the re-termination (shared pairwise keys, no per-connection
+handshake) but interposition still costs two SN traversals. This bench
+quantifies, in simulated time on identical topologies:
+
+* direct host↔host (same subnet, §3.2 direct connectivity);
+* one-SN path (both hosts on the same SN);
+* two-SN path (the §3.2 typical path);
+* two-SN + pass-through enterprise SN (three interpositions).
+
+Expected shape: each interposition adds roughly one terminus latency +
+propagation; nothing superlinear.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InterEdge, WellKnownService
+from repro.netsim import Link
+from repro.services import standard_registry
+
+from .conftest import report
+
+_results: list[dict] = []
+
+
+def _net():
+    net = InterEdge(registry=standard_registry())
+    net.create_edomain("west")
+    net.create_edomain("east")
+    net.add_sn("west")
+    net.add_sn("east")
+    net.peer_all()
+    net.deploy_required_services()
+    return net
+
+
+def _latency(net, sender, receiver, conn, n=10) -> float:
+    samples = []
+    for _ in range(n):
+        start = net.sim.now
+        arrivals = []
+        receiver.rx_tap = lambda frame, link: arrivals.append(net.sim.now)
+        sender.send(conn, b"m" * 64)
+        net.run(1.0)
+        if arrivals:
+            samples.append(arrivals[0] - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _measure_direct() -> float:
+    net = _net()
+    sn = net.all_sns()[0]
+    a = net.add_host(sn, name="a", subnet="192.168.0.0/24", address="192.168.0.10")
+    b = net.add_host(sn, name="b", subnet="192.168.0.0/24", address="192.168.0.11")
+    Link(net.sim, a, b, latency=0.001)
+    conn = a.connect(WellKnownService.IP_DELIVERY, dest_addr=b.address)
+    assert conn.direct_peer == b.address
+    return _latency(net, a, b, conn)
+
+
+def _measure_one_sn() -> float:
+    net = _net()
+    sn = net.all_sns()[0]
+    a = net.add_host(sn, name="a")
+    b = net.add_host(sn, name="b")
+    conn = a.connect(WellKnownService.IP_DELIVERY, dest_addr=b.address, allow_direct=False)
+    return _latency(net, a, b, conn)
+
+
+def _measure_two_sn() -> float:
+    net = _net()
+    sns = net.all_sns()
+    a = net.add_host(sns[0], name="a")
+    b = net.add_host(sns[1], name="b")
+    conn = a.connect(WellKnownService.IP_DELIVERY, dest_addr=b.address, allow_direct=False)
+    return _latency(net, a, b, conn)
+
+
+def _measure_passthrough() -> float:
+    net = _net()
+    sns = net.all_sns()
+    from repro.core.service_node import ServiceNode
+    from repro.services.firewall import ImposedFirewall, RuleSet
+
+    gw = ServiceNode(net.sim, "gw", "10.99.0.1", edomain_name="west")
+    gw.directory = net.directory
+    net.directory.register(gw.address, "west", via=sns[0].address)
+    gw.establish_pipe(sns[0], latency=0.001)
+    gw.configure_pass_through(next_hop=sns[0].address, chain=[ImposedFirewall(RuleSet())])
+    a = net.add_host(gw, name="a")
+    b = net.add_host(sns[1], name="b")
+    conn = a.connect(WellKnownService.IP_DELIVERY, dest_addr=b.address, allow_direct=False)
+    return _latency(net, a, b, conn)
+
+
+@pytest.mark.parametrize(
+    "label,fn",
+    [
+        ("direct (0 SNs)", _measure_direct),
+        ("same-SN (1 SN)", _measure_one_sn),
+        ("typical (2 SNs)", _measure_two_sn),
+        ("enterprise (3 SNs)", _measure_passthrough),
+    ],
+    ids=["direct", "one-sn", "two-sn", "passthrough"],
+)
+def test_interposition_ladder(benchmark, label, fn):
+    median = benchmark.pedantic(fn, rounds=1, iterations=1)
+    _results.append({"path": label, "median_ms": f"{median * 1e3:.3f}"})
+
+
+def test_costs_are_monotone_and_linear(benchmark):
+    def ladder():
+        return (
+            _measure_direct(),
+            _measure_one_sn(),
+            _measure_two_sn(),
+            _measure_passthrough(),
+        )
+
+    d0, d1, d2, d3 = benchmark.pedantic(ladder, rounds=1, iterations=1)
+    assert d0 < d1 < d2 < d3
+    # Each added interposition costs about the same increment (no blowup):
+    inc1, inc2 = d2 - d1, d3 - d2
+    assert inc2 < 3 * inc1
+
+
+def teardown_module(module):
+    if _results:
+        report(
+            "A-POSE: interposition ladder (median latency)",
+            _results,
+            ["path", "median_ms"],
+        )

@@ -1,0 +1,89 @@
+"""A-BALANCE — proactive domain management (Appendix C closing remark).
+
+"The likely bottleneck is the total traffic being handled by any SN,
+which can be load-balanced by proactive domain management." We skew all
+hosts onto one SN of a 4-SN edomain, run periodic rebalancing, and report
+the load imbalance (max/mean packets per SN per interval) before and
+after convergence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WellKnownService
+from repro.core.loadbalance import EdomainBalancer
+from repro.scenarios import metro_federation
+
+from .conftest import report
+
+_results: list[dict] = []
+
+
+def _imbalance(loads: dict[str, int]) -> float:
+    mean = sum(loads.values()) / len(loads)
+    return max(loads.values()) / mean if mean else 0.0
+
+
+def _run(rebalance: bool) -> tuple[float, float]:
+    handles = metro_federation(n_edomains=1, sns_per_edomain=4, hosts_per_sn=0)
+    net = handles.net
+    hot = handles.sns[0]
+    hosts = {}
+    for i in range(8):
+        host = net.add_host(hot, name=f"h{i}")
+        hosts[host.address] = host
+    host_list = list(hosts.values())
+    balancer = EdomainBalancer(
+        net.edomains["edomain-0"], hosts, lookup=net.lookup, imbalance_factor=1.5
+    )
+
+    def one_round() -> dict[str, int]:
+        for i, src in enumerate(host_list):
+            dst = host_list[(i + 1) % len(host_list)]
+            conn = src.connect(
+                WellKnownService.IP_DELIVERY, dest_addr=dst.address, allow_direct=False
+            )
+            for _ in range(10):
+                src.send(conn, b"w")
+        net.run(2.0)
+        return balancer._load_since_last()
+
+    first = _imbalance(one_round())
+    if rebalance:
+        for _ in range(6):  # several management intervals
+            loads = one_round()
+            plan = balancer.plan(loads)
+            for migration in plan.migrations:
+                balancer._migrate(migration)
+            balancer.history.append(plan)
+    else:
+        for _ in range(6):
+            one_round()
+    final = _imbalance(one_round())
+    return first, final
+
+
+@pytest.mark.parametrize("rebalance", [False, True], ids=["static", "managed"])
+def test_rebalancing_reduces_imbalance(benchmark, rebalance):
+    first, final = benchmark.pedantic(_run, args=(rebalance,), rounds=1, iterations=1)
+    _results.append(
+        {
+            "mode": "managed" if rebalance else "static",
+            "initial max/mean": f"{first:.2f}",
+            "final max/mean": f"{final:.2f}",
+        }
+    )
+    if rebalance:
+        assert final < first  # management reduced the skew
+    else:
+        assert final == pytest.approx(first, rel=0.05)  # skew persists
+
+
+def teardown_module(module):
+    if _results:
+        report(
+            "A-BALANCE: proactive domain management",
+            _results,
+            ["mode", "initial max/mean", "final max/mean"],
+        )

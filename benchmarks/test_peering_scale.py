@@ -1,0 +1,96 @@
+"""C-PEER — Appendix C "Direct peering": tunnel-mesh maintenance at scale.
+
+Paper: a commodity 16-core server easily maintained **98,000** WireGuard
+tunnels with symmetric key rotation every three minutes, costing **less
+than half a core** and roughly **3.4 Mbps**.
+
+We sweep tunnel counts up to 98,000 on the WireGuard-model mesh and report
+(i) maintenance bandwidth (handshake+keepalive bytes per virtual second)
+and (ii) core-equivalents (real CPU seconds per virtual second). The
+claims to reproduce: both grow linearly, bandwidth lands in the single-
+digit Mbps range, and CPU stays well under one core-equivalent at 98k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wireguard import TunnelMesh
+
+from .conftest import report
+
+PAPER_TUNNELS = 98_000
+PAPER_MBPS = 3.4
+PAPER_CORES = 0.5
+
+_results: list[dict] = []
+
+
+def _run_mesh(n_tunnels: int, window: float = 360.0) -> dict:
+    mesh = TunnelMesh("border-sn", rekey_interval=180.0, keepalive_interval=25.0)
+    mesh.add_peers(n_tunnels)
+    rep = mesh.advance(until=window)
+    return {
+        "tunnels": n_tunnels,
+        "rekeys": rep.rekeys,
+        "keepalives": rep.keepalives,
+        "bandwidth_mbps": rep.bandwidth_mbps,
+        "core_equivalents": rep.core_equivalents,
+    }
+
+
+@pytest.mark.parametrize("n_tunnels", [1_000, 10_000, 98_000])
+def test_peering_scale(benchmark, n_tunnels):
+    result = benchmark.pedantic(_run_mesh, args=(n_tunnels,), rounds=1, iterations=1)
+    _results.append(
+        {
+            "tunnels": result["tunnels"],
+            "rekeys/6min": result["rekeys"],
+            "Mbps": f"{result['bandwidth_mbps']:.3f}",
+            "core-equiv": f"{result['core_equivalents']:.4f}",
+        }
+    )
+    # Every tunnel rekeyed twice in the 6-minute window.
+    assert result["rekeys"] == 2 * n_tunnels
+
+
+def test_peering_claims(benchmark):
+    """The Appendix C claims at the paper's operating point."""
+    result = benchmark.pedantic(
+        _run_mesh, args=(PAPER_TUNNELS,), rounds=1, iterations=1
+    )
+    # Bandwidth: same order as the paper's 3.4 Mbps (our model counts
+    # handshakes + keepalives; exact constants differ slightly).
+    assert 0.5 < result["bandwidth_mbps"] < 10.0
+    # CPU: well under one core-equivalent even in interpreted Python.
+    assert result["core_equivalents"] < 1.0
+
+
+def test_linearity(benchmark):
+    """Maintenance cost must scale linearly — no superlinear blowup that
+    would cap the full-mesh edomain peering requirement (§3.2)."""
+
+    def sweep():
+        return [_run_mesh(n, window=360.0) for n in (2_000, 4_000, 8_000)]
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    b2, b4, b8 = (p["bandwidth_mbps"] for p in points)
+    assert b4 / b2 == pytest.approx(2.0, rel=0.05)
+    assert b8 / b4 == pytest.approx(2.0, rel=0.05)
+
+
+def teardown_module(module):
+    if _results:
+        _results.append(
+            {
+                "tunnels": f"{PAPER_TUNNELS} (paper)",
+                "rekeys/6min": "-",
+                "Mbps": PAPER_MBPS,
+                "core-equiv": f"<{PAPER_CORES}",
+            }
+        )
+        report(
+            "Appendix C direct peering: tunnel maintenance",
+            _results,
+            ["tunnels", "rekeys/6min", "Mbps", "core-equiv"],
+        )

@@ -1,0 +1,157 @@
+"""A-QOS — last-hop QoS (§6.2): weight compliance and priority latency.
+
+The paper's example: a household gives gaming high priority while
+preserving bandwidth for streaming. We congest a simulated access link
+and report (i) per-class goodput against configured WFQ weights and
+(ii) the latency of priority traffic with and without QoS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InterEdge, WellKnownService
+from repro.services import QoSSpec, StreamClass, request_qos, standard_registry
+
+from .conftest import report
+
+_results: list[dict] = []
+
+LINK_BPS = 1_000_000.0
+
+
+def _world(with_qos: bool, weights=(3.0, 1.0)):
+    net = InterEdge(registry=standard_registry())
+    net.create_edomain("west")
+    net.create_edomain("east")
+    src_sn_a = net.add_sn("west")
+    src_sn_b = net.add_sn("west")
+    recv_sn = net.add_sn("east")
+    net.peer_all()
+    net.deploy_required_services()
+    gamer = net.add_host(src_sn_a, name="game-server")
+    streamer = net.add_host(src_sn_b, name="cdn")
+    household = net.add_host(recv_sn, name="household")
+    # The household's access link IS the bottleneck (the §6.2 premise):
+    # everything the SN forwards to the host serializes at LINK_BPS.
+    household.links[0].bandwidth_bps = LINK_BPS
+    if with_qos:
+        spec = QoSSpec(
+            link_bps=LINK_BPS,
+            classes=[
+                StreamClass("gaming", f"{gamer.address}/32", priority=0, weight=1.0),
+                StreamClass(
+                    "streaming", f"{streamer.address}/32", priority=1, weight=weights[0]
+                ),
+            ],
+        )
+        request_qos(household, spec)
+        net.run(0.5)
+    return net, gamer, streamer, household, recv_sn
+
+
+def _flood_and_measure(with_qos: bool) -> dict:
+    net, gamer, streamer, household, recv_sn = _world(with_qos)
+    game_conn = gamer.connect(
+        WellKnownService.IP_DELIVERY, dest_addr=household.address, allow_direct=False
+    )
+    stream_conn = streamer.connect(
+        WellKnownService.IP_DELIVERY, dest_addr=household.address, allow_direct=False
+    )
+    # Saturate with streaming, then inject latency-sensitive gaming.
+    for _ in range(100):
+        streamer.send(stream_conn, b"S" * 1000)
+    net.run(0.01)
+    game_sent_at = net.sim.now
+    arrivals = {}
+
+    def tap(frame, link):
+        data = frame.payload.data if hasattr(frame, "payload") else b""
+        if data.startswith(b"G") and "game" not in arrivals:
+            arrivals["game"] = net.sim.now
+
+    household.rx_tap = tap
+    gamer.send(game_conn, b"G" * 100)
+    net.run(3.0)
+    game_latency = arrivals.get("game", float("inf")) - game_sent_at
+    delivered = [p.data for _, p in household.delivered if p.data]
+    return {
+        "game_latency_ms": game_latency * 1e3,
+        "stream_delivered": sum(1 for d in delivered if d.startswith(b"S")),
+        "game_delivered": sum(1 for d in delivered if d.startswith(b"G")),
+    }
+
+
+@pytest.mark.parametrize("with_qos", [False, True], ids=["fifo", "qos"])
+def test_gaming_latency_under_congestion(benchmark, with_qos):
+    result = benchmark.pedantic(
+        _flood_and_measure, args=(with_qos,), rounds=1, iterations=1
+    )
+    _results.append(
+        {
+            "setup": "priority QoS" if with_qos else "no QoS (FIFO)",
+            "gaming latency ms": f"{result['game_latency_ms']:.2f}",
+            "streaming pkts": result["stream_delivered"],
+        }
+    )
+    assert result["game_delivered"] == 1
+
+
+def test_qos_priority_cuts_latency(benchmark):
+    def both():
+        return _flood_and_measure(False), _flood_and_measure(True)
+
+    fifo, qos = benchmark.pedantic(both, rounds=1, iterations=1)
+    # Priority scheduling must let the gaming packet jump the bulk queue.
+    assert qos["game_latency_ms"] < fifo["game_latency_ms"] / 2
+    # ...without starving streaming entirely.
+    assert qos["stream_delivered"] > 0
+
+
+def test_wfq_weight_compliance(benchmark):
+    """Two same-priority classes split a congested link by weight."""
+
+    def run():
+        net, src_a, src_b, household, recv_sn = _world(False)
+        spec = QoSSpec(
+            link_bps=LINK_BPS,
+            classes=[
+                StreamClass("a", f"{src_a.address}/32", priority=1, weight=3.0),
+                StreamClass("b", f"{src_b.address}/32", priority=1, weight=1.0),
+            ],
+        )
+        request_qos(household, spec)
+        net.run(0.5)
+        conn_a = src_a.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=household.address, allow_direct=False
+        )
+        conn_b = src_b.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=household.address, allow_direct=False
+        )
+        for _ in range(150):
+            src_a.send(conn_a, b"A" * 800)
+            src_b.send(conn_b, b"B" * 800)
+        net.run(0.4)  # partially drain: both classes stay backlogged
+        module = recv_sn.env.service(WellKnownService.LAST_HOP_QOS)
+        shaper = module.shaper_for(household.address)
+        return shaper.bytes_delivered("a"), shaper.bytes_delivered("b")
+
+    served_a, served_b = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = served_a / max(1, served_b)
+    _results.append(
+        {
+            "setup": "WFQ 3:1 weights",
+            "gaming latency ms": "-",
+            "streaming pkts": f"ratio={ratio:.2f}",
+        }
+    )
+    assert ratio == pytest.approx(3.0, rel=0.3)
+
+
+def teardown_module(module):
+    if _results:
+        report(
+            "A-QOS: last-hop QoS under congestion",
+            _results,
+            ["setup", "gaming latency ms", "streaming pkts"],
+        )

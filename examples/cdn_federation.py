@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CDN over the InterEdge: interconnected caching + broker-stitched coverage.
+
+The paper's motivating economics (§5): an application provider wants CDN
+service near all its users. Instead of one global ESP, a broker stitches
+coverage from two regional IESPs — possible only because rates are
+published and the caching bundle's semantics and configuration are
+standardized (no lock-in).
+
+The demo then shows the technical half: the same `CACHING_BUNDLE` service,
+deployed from the same module, serves cache hits at whichever IESP's SN is
+near each client, with origin fetches crossing edomains over ILP.
+
+Run:  python examples/cdn_federation.py
+"""
+
+from repro import InterEdge, WellKnownService
+from repro.core.ilp import TLV
+from repro.econ import CoverageBroker, IESPOffer, RateCard, ServiceRate, VolumeTier
+from repro.services import standard_registry
+from repro.services.caching import make_response, parse_request
+
+
+def publish_rates(iesp: str, base: float, per_gb: float) -> RateCard:
+    card = RateCard(iesp)
+    card.set_rate(
+        ServiceRate(
+            service_id=WellKnownService.CACHING_BUNDLE,
+            base_monthly=base,
+            tiers=[VolumeTier(0.0, per_gb), VolumeTier(500.0, per_gb * 0.6)],
+        )
+    )
+    card.publish()
+    return card
+
+
+def main() -> None:
+    # ---- economics: broker stitches coverage from published rates (§5) ----
+    offers = [
+        IESPOffer("pacific-edge", publish_rates("pacific-edge", 40, 0.8), {"us-west"}),
+        IESPOffer("plains-edge", publish_rates("plains-edge", 30, 0.9), {"us-central"}),
+        IESPOffer("globocdn", publish_rates("globocdn", 200, 1.2), {"us-west", "us-central"}),
+    ]
+    broker = CoverageBroker(offers)
+    plan, global_price = broker.compare_with_global(
+        WellKnownService.CACHING_BUNDLE,
+        ["us-west", "us-central"],
+        volume_gb_per_region=300.0,
+        global_offer=offers[2],
+    )
+    print("broker plan:", plan.assignments)
+    print(f"stitched monthly: ${plan.total_monthly:.2f} vs global: ${global_price:.2f}")
+    assert plan.total_monthly < global_price
+
+    # ---- the interconnected data plane -------------------------------------
+    net = InterEdge(registry=standard_registry())
+    net.create_edomain("pacific-edge")
+    net.create_edomain("plains-edge")
+    sn_west = net.add_sn("pacific-edge", name="pop-lax")
+    sn_central = net.add_sn("plains-edge", name="pop-okc")
+    net.peer_all()
+    net.deploy_required_services()
+
+    origin = net.add_host(sn_central, name="origin", register_name="video.example")
+    viewers_west = [net.add_host(sn_west, name=f"viewer-w{i}") for i in range(3)]
+
+    # The origin application serves GETs (the app provider's backend).
+    def serve(conn_id, header, payload):
+        url = parse_request(payload.data)
+        if url is None:
+            return
+        requester = header.get_str(TLV.SRC_HOST)
+        conn = origin.connect(
+            WellKnownService.CACHING_BUNDLE, dest_addr=requester, allow_direct=False
+        )
+        conn.connection_id = conn_id
+        origin._connections[conn_id] = conn
+        origin.send(conn, make_response(url, b"\x00" * 900 + url.encode()), first=False)
+
+    origin.on_service_data(WellKnownService.CACHING_BUNDLE, serve)
+
+    # Three west-coast viewers request the same object.
+    for viewer in viewers_west:
+        conn = viewer.connect(
+            WellKnownService.CACHING_BUNDLE,
+            dest_addr=origin.address,
+            allow_direct=False,
+        )
+        viewer.send(conn, b"GET /video/launch-day.m3u8")
+        net.run(1.0)
+
+    module = sn_west.env.service(WellKnownService.CACHING_BUNDLE)
+    print(
+        f"edge cache at pop-lax: {module.requests} requests, "
+        f"{module.origin_fetches} origin fetch(es), hit rate "
+        f"{module.cache.hit_rate:.0%}"
+    )
+    for viewer in viewers_west:
+        got = [p.data for _, p in viewer.delivered if p.data.startswith(b"DATA")]
+        assert got, f"{viewer.name} got no response"
+    assert module.origin_fetches == 1  # one origin fetch served all three
+
+
+if __name__ == "__main__":
+    main()

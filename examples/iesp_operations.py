@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Running an IESP: monitoring, billing, neutrality, settlement-free peering.
+
+The operational side of §5 in one scenario: an IESP serves two customers,
+bills them strictly from its published rate card, passes a neutrality
+audit, exchanges (unsettled) traffic with a peer edomain, and watches its
+fleet through the federation monitor.
+
+Run:  python examples/iesp_operations.py
+"""
+
+from repro import InterEdge, WellKnownService
+from repro.core.monitoring import FederationMonitor
+from repro.econ import (
+    BillingEngine,
+    NeutralityAuditor,
+    RateCard,
+    ServiceRate,
+    VolumeTier,
+)
+from repro.services import standard_registry
+
+
+def main() -> None:
+    net = InterEdge(registry=standard_registry())
+    net.create_edomain("acme-edge")
+    net.create_edomain("peer-edge")
+    sn1 = net.add_sn("acme-edge", name="acme-pop1")
+    sn2 = net.add_sn("acme-edge", name="acme-pop2")
+    peer_sn = net.add_sn("peer-edge", name="peer-pop")
+    net.peer_all()
+    net.deploy_required_services()
+
+    # -- published standard rates (§5 neutrality prerequisite) ------------
+    card = RateCard("acme-edge")
+    card.set_rate(
+        ServiceRate(
+            service_id=WellKnownService.IP_DELIVERY,
+            base_monthly=25.0,
+            tiers=[VolumeTier(0.0, 0.50), VolumeTier(100.0, 0.25)],
+        )
+    )
+    card.publish()
+    billing = BillingEngine(card)
+
+    # -- two customers generate cross-edomain traffic ----------------------
+    startup = net.add_host(sn1, name="startup")
+    bigco = net.add_host(sn2, name="bigco")
+    remote = net.add_host(peer_sn, name="remote-peer")
+    for customer, volume in ((startup, 20), (bigco, 60)):
+        conn = customer.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=remote.address
+        )
+        for _ in range(volume):
+            customer.send(conn, b"d" * 1000)
+    net.run(1.0)
+
+    # -- settlement-free peering accounting (§5) -------------------------
+    traffic = net.ledger.traffic("acme-edge", "peer-edge")
+    print(
+        f"acme-edge -> peer-edge: {traffic.packets_sent} pkts, "
+        f"{traffic.bytes_sent} B; settlement moved: "
+        f"${net.ledger.interdomain_balance():.2f}"
+    )
+
+    # -- billing from the card; identical usage = identical price ---------
+    inv_small = billing.bill("startup", WellKnownService.IP_DELIVERY, "us", 20.0)
+    inv_large = billing.bill("bigco", WellKnownService.IP_DELIVERY, "us", 60.0)
+    net.ledger.pay_iesp("startup", "acme-edge", inv_small.amount)
+    net.ledger.pay_iesp("bigco", "acme-edge", inv_large.amount)
+    print(
+        f"invoices: startup=${inv_small.amount:.2f} "
+        f"bigco=${inv_large.amount:.2f}; "
+        f"acme revenue=${net.ledger.edomain_revenue('acme-edge'):.2f}"
+    )
+
+    # -- the neutrality audit ------------------------------------------------
+    violations = NeutralityAuditor(card).audit(billing.invoices)
+    print(f"neutrality audit violations: {len(violations)}")
+    assert violations == []
+
+    # -- fleet monitoring ---------------------------------------------------
+    monitor = FederationMonitor(net)
+    report = monitor.collect()
+    print(
+        f"fleet: {len(report.snapshots)} SNs, {report.total_packets} pkts in, "
+        f"fast-path fraction {report.overall_fast_path_fraction:.0%}, "
+        f"drop rate {report.drop_rate:.1%}"
+    )
+    for row in report.to_rows():
+        print("  ", row)
+    hottest = report.hottest_sns(1)[0]
+    print(f"hottest SN: {hottest.name} ({hottest.packets_in} pkts)")
+    assert report.total_drops == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: build a two-edomain InterEdge and send traffic through it.
+
+Demonstrates the architecture's basic moving parts (§3):
+
+* two IESPs, each one edomain with two service nodes;
+* settlement-free full-mesh peering between the edomains;
+* uniform deployment of the standardized service catalog;
+* a host-to-host connection invoking the IP-delivery service, with the
+  first packet taking the slow path and the rest riding the decision cache.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import InterEdge, WellKnownService
+from repro.services import standard_registry
+
+
+def main() -> None:
+    # 1. Build the federation: the simulator, lookup service, and registry.
+    net = InterEdge(registry=standard_registry())
+
+    # 2. Two IESPs stand up edomains with SNs at their PoPs.
+    net.create_edomain("coastal-iesp")
+    net.create_edomain("inland-iesp")
+    sn_coastal_1 = net.add_sn("coastal-iesp", name="pop-sfo")
+    sn_coastal_2 = net.add_sn("coastal-iesp", name="pop-sea")
+    sn_inland = net.add_sn("inland-iesp", name="pop-den")
+
+    # 3. Interconnection: full-mesh settlement-free peering (§3.2, §5).
+    pipes = net.peer_all()
+    print(f"peering fabric established: {pipes} pipes")
+
+    # 4. The governance body's catalog deploys uniformly (§3.3 WORA).
+    deployed = net.deploy_required_services()
+    print(f"deployed {deployed} (SN, service) pairs")
+    print(f"services on pop-den: {len(sn_inland.env.service_ids())}")
+
+    # 5. Hosts associate with first-hop SNs; addresses go in the lookup.
+    alice = net.add_host(sn_coastal_1, name="alice")
+    bob = net.add_host(sn_inland, name="bob", register_name="bob.example")
+
+    # 6. Alice resolves Bob and opens a connection naming ONE service.
+    resolution = net.names.resolve("bob.example")
+    print(f"bob.example -> {resolution.address} via SN {resolution.primary_sn}")
+    conn = alice.connect(
+        WellKnownService.IP_DELIVERY,
+        dest_addr=resolution.address,
+        dest_sn=resolution.primary_sn,
+    )
+
+    # 7. Send. Packet 1 punts to the service module; 2..5 ride the cache.
+    for i in range(5):
+        alice.send(conn, f"hello interedge #{i}".encode())
+    net.run(1.0)
+
+    print(f"bob received: {[p.data.decode() for _, p in bob.delivered]}")
+    stats = sn_coastal_1.terminus.stats
+    print(
+        f"alice's SN: {stats.punts} slow-path punt(s), "
+        f"{stats.fast_path} fast-path hits "
+        f"(cache hit rate {sn_coastal_1.cache.stats.hit_rate:.0%})"
+    )
+    assert len(bob.delivered) == 5
+
+
+if __name__ == "__main__":
+    main()

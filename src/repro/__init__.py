@@ -1,0 +1,63 @@
+"""InterEdge: a reproduction of "An Architecture For Edge Networking
+Services" (SIGCOMM 2024).
+
+Quick start::
+
+    from repro import InterEdge, WellKnownService
+    from repro.services import IPDeliveryService
+
+    net = InterEdge()
+    dom = net.create_edomain("edge-west")
+    sn = net.add_sn("edge-west")
+    net.peer_all()
+    net.deploy_service(IPDeliveryService)
+    alice = net.add_host(sn)
+    bob = net.add_host(sn)
+    conn = alice.connect(WellKnownService.IP_DELIVERY, dest_addr=bob.address)
+    alice.send(conn, b"hello interedge")
+    net.run(1.0)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .core import (
+    CostModel,
+    Decision,
+    DecisionCache,
+    Host,
+    ILPHeader,
+    ILPPacket,
+    InterEdge,
+    InvocationMode,
+    ServiceModule,
+    ServiceNode,
+    ServiceRegistry,
+    Standardization,
+    TLV,
+    Verdict,
+    WellKnownService,
+)
+from .netsim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "Decision",
+    "DecisionCache",
+    "Host",
+    "ILPHeader",
+    "ILPPacket",
+    "InterEdge",
+    "InvocationMode",
+    "ServiceModule",
+    "ServiceNode",
+    "ServiceRegistry",
+    "Simulator",
+    "Standardization",
+    "TLV",
+    "Verdict",
+    "WellKnownService",
+    "__version__",
+]

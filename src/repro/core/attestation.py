@@ -1,0 +1,158 @@
+"""Software TPM and remote attestation.
+
+§3.1 assumes every SN has a TPM usable for attestation, and §6 builds an
+attestation service on it. This module implements a software TPM with the
+pieces the architecture actually uses:
+
+* PCR banks extended with measurements of the boot chain, the execution
+  environment, and each loaded service module;
+* quotes: a signed (PCR digest, nonce) pair;
+* a verifier that checks quotes against a golden measurement database.
+
+Signatures use the repository's simulation-grade :class:`KeyPair` scheme
+(see :mod:`repro.core.crypto`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .crypto import KeyPair, SignatureRegistry
+
+N_PCRS = 24
+PCR_BOOT = 0
+PCR_EXEC_ENV = 1
+PCR_SERVICES = 2
+PCR_ENCLAVE = 3
+
+
+class AttestationError(Exception):
+    """Raised on malformed or unverifiable quotes."""
+
+
+def measure(data: bytes) -> bytes:
+    """A measurement is a SHA-256 digest of the measured artifact."""
+    return hashlib.sha256(data).digest()
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed attestation of PCR state, bound to a verifier nonce."""
+
+    tpm_public: bytes
+    nonce: bytes
+    pcr_digest: bytes
+    signature: bytes
+
+    def signed_blob(self) -> bytes:
+        return b"quote|" + self.nonce + b"|" + self.pcr_digest
+
+
+class SoftwareTPM:
+    """A minimal TPM: PCRs, extend, quote."""
+
+    def __init__(self, keypair: Optional[KeyPair] = None) -> None:
+        self.keypair = keypair or KeyPair.generate()
+        self._pcrs: list[bytes] = [b"\x00" * 32 for _ in range(N_PCRS)]
+        self.extend_log: list[tuple[int, bytes]] = []
+
+    @property
+    def public(self) -> bytes:
+        return self.keypair.public
+
+    def pcr(self, index: int) -> bytes:
+        return self._pcrs[index]
+
+    def extend(self, index: int, measurement: bytes) -> bytes:
+        """PCR[i] = H(PCR[i] || measurement); append-only by construction."""
+        if not 0 <= index < N_PCRS:
+            raise AttestationError(f"no PCR {index}")
+        if len(measurement) != 32:
+            raise AttestationError("measurements must be 32-byte digests")
+        self._pcrs[index] = hashlib.sha256(self._pcrs[index] + measurement).digest()
+        self.extend_log.append((index, measurement))
+        return self._pcrs[index]
+
+    def pcr_digest(self, indices: Optional[list[int]] = None) -> bytes:
+        selected = indices if indices is not None else list(range(N_PCRS))
+        acc = hashlib.sha256()
+        for index in selected:
+            acc.update(self._pcrs[index])
+        return acc.digest()
+
+    def quote(self, nonce: bytes, indices: Optional[list[int]] = None) -> Quote:
+        digest = self.pcr_digest(indices)
+        unsigned = Quote(
+            tpm_public=self.public,
+            nonce=nonce,
+            pcr_digest=digest,
+            signature=b"",
+        )
+        signature = self.keypair.sign(unsigned.signed_blob())
+        return Quote(
+            tpm_public=self.public,
+            nonce=nonce,
+            pcr_digest=digest,
+            signature=signature,
+        )
+
+
+def replay_pcrs(extend_log: list[tuple[int, bytes]]) -> list[bytes]:
+    """Recompute final PCR values from an extend log (verifier side)."""
+    pcrs = [b"\x00" * 32 for _ in range(N_PCRS)]
+    for index, measurement in extend_log:
+        pcrs[index] = hashlib.sha256(pcrs[index] + measurement).digest()
+    return pcrs
+
+
+@dataclass
+class GoldenMeasurements:
+    """The verifier's database of acceptable measurements per PCR."""
+
+    acceptable: dict[int, set[bytes]] = field(default_factory=dict)
+
+    def allow(self, pcr_index: int, measurement: bytes) -> None:
+        self.acceptable.setdefault(pcr_index, set()).add(measurement)
+
+    def log_acceptable(self, extend_log: list[tuple[int, bytes]]) -> bool:
+        return all(
+            measurement in self.acceptable.get(index, set())
+            for index, measurement in extend_log
+        )
+
+
+class AttestationVerifier:
+    """Verifies quotes: signature via the registry, digest via the log."""
+
+    def __init__(
+        self, registry: SignatureRegistry, golden: Optional[GoldenMeasurements] = None
+    ) -> None:
+        self._registry = registry
+        self.golden = golden or GoldenMeasurements()
+
+    def verify(
+        self,
+        quote: Quote,
+        expected_nonce: bytes,
+        extend_log: list[tuple[int, bytes]],
+        indices: Optional[list[int]] = None,
+    ) -> bool:
+        """Full verification: freshness, signature, digest, measurements."""
+        if quote.nonce != expected_nonce:
+            return False
+        if not self._registry.verify(
+            quote.tpm_public, quote.signed_blob(), quote.signature
+        ):
+            return False
+        pcrs = replay_pcrs(extend_log)
+        selected = indices if indices is not None else list(range(N_PCRS))
+        acc = hashlib.sha256()
+        for index in selected:
+            acc.update(pcrs[index])
+        if acc.digest() != quote.pcr_digest:
+            return False
+        if self.golden.acceptable and not self.golden.log_acceptable(extend_log):
+            return False
+        return True

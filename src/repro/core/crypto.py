@@ -1,0 +1,164 @@
+"""Simulation-grade cryptographic primitives.
+
+The paper's ILP uses PSP [34], an AEAD designed for NIC offload that
+operates on individual packets with no inter-packet state. We reproduce the
+*properties* the architecture depends on — per-packet independence,
+pairwise keys, authenticated encryption, cheap key derivation and rotation —
+with stdlib ``hashlib``/``hmac`` building blocks.
+
+**This is not production cryptography.** The stream cipher is a SHA-256
+counter keystream and the MAC a truncated HMAC; both are fine for a
+simulator (no adversary runs inside the process) and keep the repository
+dependency-free. DESIGN.md §4 records the substitution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+from dataclasses import dataclass
+
+KEY_SIZE = 32
+TAG_SIZE = 16
+NONCE_SIZE = 8
+_BLOCK = hashlib.sha256().digest_size
+
+
+class CryptoError(Exception):
+    """Raised on authentication failure or key misuse."""
+
+
+def random_key() -> bytes:
+    """A fresh uniformly random 256-bit key."""
+    return os.urandom(KEY_SIZE)
+
+
+def derive_key(master: bytes, label: str, context: bytes = b"") -> bytes:
+    """HKDF-expand style one-step derivation: HMAC(master, label || ctx)."""
+    if len(master) < 16:
+        raise CryptoError("master key too short")
+    return hmac.new(master, label.encode() + b"\x00" + context, hashlib.sha256).digest()
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """A counter-mode keystream: SHA256(key || nonce || counter) blocks."""
+    blocks = []
+    for counter in range((length + _BLOCK - 1) // _BLOCK):
+        blocks.append(
+            hashlib.sha256(key + nonce + struct.pack(">I", counter)).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def _mac_key(key: bytes) -> bytes:
+    return derive_key(key, "ilp-mac")
+
+
+def _enc_key(key: bytes) -> bytes:
+    return derive_key(key, "ilp-enc")
+
+
+def seal(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Encrypt-then-MAC. Returns ``ciphertext || tag``.
+
+    The nonce is caller-supplied (PSP carries it in the packet) and MUST be
+    unique per (key, packet); :class:`NonceGenerator` provides that.
+    """
+    if len(nonce) != NONCE_SIZE:
+        raise CryptoError(f"nonce must be {NONCE_SIZE} bytes")
+    ciphertext = _xor(plaintext, _keystream(_enc_key(key), nonce, len(plaintext)))
+    tag = hmac.new(
+        _mac_key(key), nonce + aad + ciphertext, hashlib.sha256
+    ).digest()[:TAG_SIZE]
+    return ciphertext + tag
+
+
+def open_sealed(key: bytes, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+    """Verify and decrypt output of :func:`seal`.
+
+    Raises:
+        CryptoError: if the tag does not verify (tampering or wrong key).
+    """
+    if len(sealed) < TAG_SIZE:
+        raise CryptoError("sealed blob too short")
+    ciphertext, tag = sealed[:-TAG_SIZE], sealed[-TAG_SIZE:]
+    expected = hmac.new(
+        _mac_key(key), nonce + aad + ciphertext, hashlib.sha256
+    ).digest()[:TAG_SIZE]
+    if not hmac.compare_digest(tag, expected):
+        raise CryptoError("authentication tag mismatch")
+    return _xor(ciphertext, _keystream(_enc_key(key), nonce, len(ciphertext)))
+
+
+class NonceGenerator:
+    """Monotonic per-sender nonces (PSP uses a per-SA counter the same way)."""
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = start
+
+    def next(self) -> bytes:
+        self._counter += 1
+        if self._counter >= 2**64:
+            raise CryptoError("nonce space exhausted; rekey required")
+        return struct.pack(">Q", self._counter)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A toy asymmetric identity: 'public' key is a hash of the private key.
+
+    Signatures are HMACs keyed by the private key and verified by anyone who
+    can obtain the private-key holder's cooperation is *not* modeled —
+    instead the verifier trusts the lookup service's registry binding
+    ``public`` to the identity, and verification recomputes the HMAC via a
+    registry-held verification secret. This mirrors what the architecture
+    needs (signed join messages, signed open-group statements, attestation
+    quotes) without a bignum signature scheme.
+    """
+
+    private: bytes
+    public: bytes
+
+    @staticmethod
+    def generate() -> "KeyPair":
+        private = random_key()
+        public = hashlib.sha256(b"pub|" + private).digest()
+        return KeyPair(private=private, public=public)
+
+    def sign(self, message: bytes) -> bytes:
+        return hmac.new(self.private, message, hashlib.sha256).digest()
+
+    def verify_with_private(self, message: bytes, signature: bytes) -> bool:
+        return hmac.compare_digest(self.sign(message), signature)
+
+
+class SignatureRegistry:
+    """Verification oracle standing in for a real PKI.
+
+    The global lookup service holds one of these: identities register their
+    key pair, verifiers ask the registry to check signatures against a
+    public key. Verification is constant-time HMAC comparison.
+    """
+
+    def __init__(self) -> None:
+        self._by_public: dict[bytes, KeyPair] = {}
+
+    def register(self, keypair: KeyPair) -> None:
+        self._by_public[keypair.public] = keypair
+
+    def is_registered(self, public: bytes) -> bool:
+        return public in self._by_public
+
+    def verify(self, public: bytes, message: bytes, signature: bytes) -> bool:
+        keypair = self._by_public.get(public)
+        if keypair is None:
+            return False
+        return keypair.verify_with_private(message, signature)

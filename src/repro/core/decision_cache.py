@@ -1,0 +1,218 @@
+"""The pipe-terminus decision cache (match-action table).
+
+Per §4 and Appendix B:
+
+* keys are exact-match on (L3 source, service ID, connection ID);
+* the action says whether and to whom to forward (possibly multiple
+  destinations — multicast fans out here);
+* entries may be **evicted arbitrarily, even for active connections** —
+  correctness must never depend on residency, so a miss simply punts the
+  packet to the service module, which recomputes the decision;
+* services can query per-entry hit counts to learn whether a connection is
+  still active (the "recently used" API, §B.2).
+
+The implementation mimics a switch-ASIC exact-match table: bounded
+capacity, O(1) lookup, pluggable eviction (LRU / FIFO / random).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class CacheError(Exception):
+    """Raised for invalid cache configuration."""
+
+
+class Action(enum.Enum):
+    FORWARD = "forward"
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    src: str
+    service_id: int
+    connection_id: int
+
+
+@dataclass(frozen=True)
+class ForwardTarget:
+    """One forwarding destination for a matched packet.
+
+    ``peer`` is the next-hop ILP peer (an SN or a host). ``tlv_updates``
+    lets the installing service rewrite header TLVs on the fast path (e.g.
+    refresh DEST_SN after an inter-edomain handoff) without slow-path
+    involvement.
+    """
+
+    peer: str
+    tlv_updates: tuple[tuple[int, bytes], ...] = ()
+
+
+@dataclass(frozen=True)
+class Decision:
+    action: Action
+    targets: tuple[ForwardTarget, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.action is Action.FORWARD and not self.targets:
+            raise CacheError("FORWARD decision needs at least one target")
+        if self.action is Action.DROP and self.targets:
+            raise CacheError("DROP decision cannot carry targets")
+
+    @staticmethod
+    def forward(*peers: str) -> "Decision":
+        return Decision(
+            action=Action.FORWARD,
+            targets=tuple(ForwardTarget(peer) for peer in peers),
+        )
+
+    @staticmethod
+    def drop() -> "Decision":
+        return Decision(action=Action.DROP)
+
+
+class EvictionPolicy(enum.Enum):
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+@dataclass
+class _Entry:
+    decision: Decision
+    installed_at: float
+    hits: int = 0
+    last_hit_at: Optional[float] = None
+
+
+@dataclass
+class CacheStats:
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    installs: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class DecisionCache:
+    """Bounded exact-match decision cache."""
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        policy: EvictionPolicy = EvictionPolicy.LRU,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if capacity < 1:
+            raise CacheError("capacity must be >= 1")
+        self.capacity = capacity
+        self.policy = policy
+        self._rng = rng or random.Random(0)
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: CacheKey, now: float = 0.0) -> Optional[Decision]:
+        """Query the cache; updates hit bookkeeping."""
+        self.stats.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        entry.hits += 1
+        entry.last_hit_at = now
+        if self.policy is EvictionPolicy.LRU:
+            self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.decision
+
+    def install(self, key: CacheKey, decision: Decision, now: float = 0.0) -> None:
+        """Install or replace an entry, evicting if at capacity."""
+        if key in self._entries:
+            self._entries[key].decision = decision
+            if self.policy is EvictionPolicy.LRU:
+                self._entries.move_to_end(key)
+            return
+        while len(self._entries) >= self.capacity:
+            self._evict_one()
+        self._entries[key] = _Entry(decision=decision, installed_at=now)
+        self.stats.installs += 1
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Remove one entry (service teardown). Returns True if present."""
+        if self._entries.pop(key, None) is not None:
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def invalidate_connection(self, service_id: int, connection_id: int) -> int:
+        """Remove all entries for a (service, connection), any source."""
+        victims = [
+            key
+            for key in self._entries
+            if key.service_id == service_id and key.connection_id == connection_id
+        ]
+        for key in victims:
+            del self._entries[key]
+        self.stats.invalidations += len(victims)
+        return len(victims)
+
+    def evict_random_fraction(self, fraction: float) -> int:
+        """Forcibly evict a fraction of entries.
+
+        Used by the property tests and the A-CACHE ablation to prove that
+        correctness never depends on residency (Appendix B requirement).
+        """
+        count = int(len(self._entries) * fraction)
+        victims = self._rng.sample(list(self._entries), k=count)
+        for key in victims:
+            del self._entries[key]
+        self.stats.evictions += count
+        return count
+
+    def hit_count(self, key: CacheKey) -> Optional[int]:
+        """Per-entry hit counter (the ASIC-supported API of §B.2)."""
+        entry = self._entries.get(key)
+        return entry.hits if entry is not None else None
+
+    def recently_used(self, key: CacheKey, now: float, window: float) -> bool:
+        """Was this entry hit within ``window`` seconds before ``now``?
+
+        Services use this to decide whether a connection is still active
+        before expiring their internal state (§B.2).
+        """
+        entry = self._entries.get(key)
+        if entry is None or entry.last_hit_at is None:
+            return False
+        return (now - entry.last_hit_at) <= window
+
+    def _evict_one(self) -> None:
+        if not self._entries:
+            return
+        if self.policy is EvictionPolicy.RANDOM:
+            key = self._rng.choice(list(self._entries))
+            del self._entries[key]
+        else:
+            # LRU keeps recency order; FIFO keeps insertion order. Either
+            # way the first item is the right victim.
+            self._entries.popitem(last=False)
+        self.stats.evictions += 1
+
+    def keys(self) -> list[CacheKey]:
+        return list(self._entries)

@@ -1,0 +1,92 @@
+"""Edomains: autonomous domains of edge control (§3.1).
+
+An edomain is one IESP's unit of administration: a set of SNs, a core
+(persistent watchable store + membership logic), and designated border SNs
+that hold the long-lived pipes to other edomains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..control.core_store import CoreStore
+from ..control.lookup import GlobalLookupService
+from ..control.membership import EdomainMembershipCore, SNMembershipAgent
+from .service_node import ServiceNode
+
+
+class EdomainError(Exception):
+    """Raised on invalid edomain configuration."""
+
+
+@dataclass
+class CoreClient:
+    """The handle an SN's services use to reach edomain/global control.
+
+    Exposed to service modules via ``ServiceContext.control_plane()``.
+    """
+
+    edomain_name: str
+    membership: SNMembershipAgent
+    core: EdomainMembershipCore
+    lookup: GlobalLookupService
+    store: CoreStore
+
+
+class Edomain:
+    """One autonomous domain of edge control."""
+
+    def __init__(self, name: str, lookup: GlobalLookupService) -> None:
+        self.name = name
+        self.lookup = lookup
+        self.store = CoreStore(name)
+        self.membership_core = EdomainMembershipCore(name, self.store, lookup)
+        self.sns: dict[str, ServiceNode] = {}
+        self._border_sn: Optional[str] = None
+
+    def add_sn(self, sn: ServiceNode) -> ServiceNode:
+        if sn.edomain_name != self.name:
+            raise EdomainError(
+                f"SN {sn.name} belongs to edomain {sn.edomain_name!r}, "
+                f"not {self.name!r}"
+            )
+        if sn.address in self.sns:
+            raise EdomainError(f"duplicate SN address {sn.address}")
+        self.sns[sn.address] = sn
+        agent = SNMembershipAgent(sn.address, self.membership_core, self.lookup)
+        sn.core_client = CoreClient(
+            edomain_name=self.name,
+            membership=agent,
+            core=self.membership_core,
+            lookup=self.lookup,
+            store=self.store,
+        )
+        if self._border_sn is None:
+            self._border_sn = sn.address
+        return sn
+
+    @property
+    def border_sn(self) -> ServiceNode:
+        if self._border_sn is None:
+            raise EdomainError(f"edomain {self.name} has no SNs")
+        return self.sns[self._border_sn]
+
+    def designate_border(self, address: str) -> None:
+        if address not in self.sns:
+            raise EdomainError(f"no SN at {address} in edomain {self.name}")
+        self._border_sn = address
+
+    def connect_internal(self, latency: float = 0.002) -> int:
+        """Full-mesh pipes between this edomain's SNs; returns pipe count."""
+        nodes = list(self.sns.values())
+        pipes = 0
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                if not a.has_pipe_to(b.address):
+                    a.establish_pipe(b, latency=latency)
+                    pipes += 1
+        return pipes
+
+    def sn_addresses(self) -> list[str]:
+        return sorted(self.sns)

@@ -1,0 +1,170 @@
+"""The Interposition-Layer Protocol (ILP) header.
+
+Per §4, the only mandatory structure is that the initial portion of the ILP
+header carries a *service ID* and a *connection ID*; beyond that, services
+may put arbitrary-length, arbitrary-content, per-packet-varying information
+in the header (subject to MTU). We encode that as a fixed prefix followed
+by TLVs::
+
+    | version (1B) | service_id (2B) | flags (1B) | connection_id (8B) |
+    | TLV* : type (1B) | length (2B) | value (length B) |
+
+Connection IDs are chosen by the initiating host and scope the decision
+cache; they are not related to L4 ports.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+ILP_VERSION = 1
+_FIXED_FMT = ">BHBQ"
+_FIXED_SIZE = struct.calcsize(_FIXED_FMT)
+_TLV_FMT = ">BH"
+_TLV_HEADER = struct.calcsize(_TLV_FMT)
+
+
+class ILPError(Exception):
+    """Raised on malformed ILP headers."""
+
+
+class Flags:
+    """Bit flags in the fixed ILP prefix."""
+
+    NONE = 0x00
+    CONTROL = 0x01  # control-plane message, not data
+    FIRST = 0x02  # first packet of a connection (services may expect setup TLVs)
+    LAST = 0x04  # sender believes the connection is finished
+    MORE_HEADER = 0x08  # setup info continues in subsequent packets (§B.2)
+
+
+class TLV:
+    """Well-known TLV types. Services may define their own ≥ 0x80."""
+
+    DEST_ADDR = 0x01  # ultimate destination host address (str)
+    DEST_SN = 0x02  # destination's associated SN address (str)
+    SRC_HOST = 0x03  # originating host address (str)
+    SERVICE_OPTS = 0x04  # option bytes interpreted by the service
+    BUNDLE = 0x05  # bundle member toggles
+    TOPIC = 0x06  # pub/sub topic / group name (str)
+    SIGNATURE = 0x07  # authorization signature (join messages etc.)
+    IDENTITY = 0x08  # public key / identity token
+    SEQUENCE = 0x09  # service-level sequence number (u64)
+    TIMESTAMP = 0x0A  # GPS-clock timestamp (f64 seconds)
+    SETUP_FRAG = 0x0B  # fragment of oversized setup info (§B.2)
+    RETURN_PATH = 0x0C  # reverse-path SN list
+    SERVICE_PRIVATE = 0x80  # first service-private type
+
+
+@dataclass
+class ILPHeader:
+    """Decoded ILP header."""
+
+    service_id: int
+    connection_id: int
+    flags: int = Flags.NONE
+    tlvs: dict[int, bytes] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.service_id <= 0xFFFF:
+            raise ILPError(f"service_id out of range: {self.service_id}")
+        if not 0 <= self.connection_id < 2**64:
+            raise ILPError(f"connection_id out of range: {self.connection_id}")
+
+    # -- TLV convenience accessors ------------------------------------
+    def set_str(self, tlv_type: int, value: str) -> None:
+        self.tlvs[tlv_type] = value.encode()
+
+    def get_str(self, tlv_type: int) -> Optional[str]:
+        raw = self.tlvs.get(tlv_type)
+        return raw.decode() if raw is not None else None
+
+    def set_u64(self, tlv_type: int, value: int) -> None:
+        self.tlvs[tlv_type] = struct.pack(">Q", value)
+
+    def get_u64(self, tlv_type: int) -> Optional[int]:
+        raw = self.tlvs.get(tlv_type)
+        return struct.unpack(">Q", raw)[0] if raw is not None else None
+
+    def set_f64(self, tlv_type: int, value: float) -> None:
+        self.tlvs[tlv_type] = struct.pack(">d", value)
+
+    def get_f64(self, tlv_type: int) -> Optional[float]:
+        raw = self.tlvs.get(tlv_type)
+        return struct.unpack(">d", raw)[0] if raw is not None else None
+
+    @property
+    def is_control(self) -> bool:
+        return bool(self.flags & Flags.CONTROL)
+
+    @property
+    def is_first(self) -> bool:
+        return bool(self.flags & Flags.FIRST)
+
+    # -- wire format ----------------------------------------------------
+    def encode(self) -> bytes:
+        parts = [
+            struct.pack(
+                _FIXED_FMT,
+                ILP_VERSION,
+                self.service_id,
+                self.flags,
+                self.connection_id,
+            )
+        ]
+        for tlv_type in sorted(self.tlvs):
+            value = self.tlvs[tlv_type]
+            if len(value) > 0xFFFF:
+                raise ILPError(f"TLV {tlv_type} too long ({len(value)}B)")
+            parts.append(struct.pack(_TLV_FMT, tlv_type, len(value)))
+            parts.append(value)
+        return b"".join(parts)
+
+    @staticmethod
+    def decode(raw: bytes) -> "ILPHeader":
+        if len(raw) < _FIXED_SIZE:
+            raise ILPError("ILP header truncated")
+        version, service_id, flags, connection_id = struct.unpack_from(
+            _FIXED_FMT, raw
+        )
+        if version != ILP_VERSION:
+            raise ILPError(f"unsupported ILP version {version}")
+        tlvs: dict[int, bytes] = {}
+        offset = _FIXED_SIZE
+        while offset < len(raw):
+            if offset + _TLV_HEADER > len(raw):
+                raise ILPError("truncated TLV header")
+            tlv_type, length = struct.unpack_from(_TLV_FMT, raw, offset)
+            offset += _TLV_HEADER
+            if offset + length > len(raw):
+                raise ILPError("truncated TLV value")
+            tlvs[tlv_type] = raw[offset : offset + length]
+            offset += length
+        return ILPHeader(
+            service_id=service_id,
+            connection_id=connection_id,
+            flags=flags,
+            tlvs=tlvs,
+        )
+
+    @property
+    def encoded_size(self) -> int:
+        return _FIXED_SIZE + sum(
+            _TLV_HEADER + len(value) for value in self.tlvs.values()
+        )
+
+    def copy(self) -> "ILPHeader":
+        return ILPHeader(
+            service_id=self.service_id,
+            connection_id=self.connection_id,
+            flags=self.flags,
+            tlvs=dict(self.tlvs),
+        )
+
+
+def new_connection_id() -> int:
+    """A fresh random 64-bit connection ID (chosen by the initiating host)."""
+    return struct.unpack(">Q", os.urandom(8))[0]

@@ -1,0 +1,164 @@
+"""Federation-wide monitoring and operational metrics.
+
+IESPs operate SNs; operating them needs observability. This module
+aggregates the counters every component already keeps (terminus stats,
+cache stats, PSP stats, per-service counters, enclave crossings) into
+uniform snapshots — per SN, per edomain, and federation-wide — suitable
+for dashboards, capacity planning (the §5 "volume and location" pricing
+inputs), and the neutrality audit trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .federation import InterEdge
+from .service_node import ServiceNode
+
+
+@dataclass(frozen=True)
+class SNSnapshot:
+    """One SN's health at a point in (virtual) time."""
+
+    name: str
+    address: str
+    edomain: str
+    taken_at: float
+    packets_in: int
+    packets_out: int
+    fast_path: int
+    punts: int
+    drops: int
+    cache_entries: int
+    cache_hit_rate: float
+    psp_peers: int
+    services: int
+    storage_keys: int
+    associated_hosts: int
+
+    @property
+    def fast_path_fraction(self) -> float:
+        total = self.fast_path + self.punts
+        return self.fast_path / total if total else 0.0
+
+
+def snapshot_sn(sn: ServiceNode) -> SNSnapshot:
+    stats = sn.terminus.stats
+    drops = (
+        stats.drops_no_peer
+        + stats.drops_auth
+        + stats.drops_malformed
+        + stats.drops_no_service
+        + stats.drops_by_decision
+        + stats.drops_by_service
+    )
+    return SNSnapshot(
+        name=sn.name,
+        address=sn.address,
+        edomain=sn.edomain_name,
+        taken_at=sn.sim.now,
+        packets_in=stats.packets_in,
+        packets_out=stats.packets_out,
+        fast_path=stats.fast_path,
+        punts=stats.punts,
+        drops=drops,
+        cache_entries=len(sn.cache),
+        cache_hit_rate=sn.cache.stats.hit_rate,
+        psp_peers=len(sn.keystore),
+        services=len(sn.env.service_ids()),
+        storage_keys=len(sn.env.storage),
+        associated_hosts=len(sn.associated_hosts),
+    )
+
+
+@dataclass
+class FederationReport:
+    """Aggregated snapshot across every SN in a federation."""
+
+    taken_at: float
+    snapshots: list[SNSnapshot]
+
+    @property
+    def total_packets(self) -> int:
+        return sum(s.packets_in for s in self.snapshots)
+
+    @property
+    def total_drops(self) -> int:
+        return sum(s.drops for s in self.snapshots)
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.total_packets
+        return self.total_drops / total if total else 0.0
+
+    @property
+    def overall_fast_path_fraction(self) -> float:
+        fast = sum(s.fast_path for s in self.snapshots)
+        punts = sum(s.punts for s in self.snapshots)
+        total = fast + punts
+        return fast / total if total else 0.0
+
+    def by_edomain(self) -> dict[str, list[SNSnapshot]]:
+        grouped: dict[str, list[SNSnapshot]] = {}
+        for snap in self.snapshots:
+            grouped.setdefault(snap.edomain, []).append(snap)
+        return grouped
+
+    def hottest_sns(self, n: int = 5) -> list[SNSnapshot]:
+        """The load-balancing input (§C: 'proactive domain management')."""
+        return sorted(
+            self.snapshots, key=lambda s: s.packets_in, reverse=True
+        )[:n]
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Flat rows for tabular export."""
+        return [
+            {
+                "sn": s.name,
+                "edomain": s.edomain,
+                "in": s.packets_in,
+                "out": s.packets_out,
+                "fastpath%": round(100 * s.fast_path_fraction, 1),
+                "drops": s.drops,
+                "cache": s.cache_entries,
+                "hosts": s.associated_hosts,
+            }
+            for s in self.snapshots
+        ]
+
+
+class FederationMonitor:
+    """Periodic or on-demand snapshotting over an :class:`InterEdge`."""
+
+    def __init__(self, net: InterEdge) -> None:
+        self.net = net
+        self.history: list[FederationReport] = []
+
+    def collect(self) -> FederationReport:
+        report = FederationReport(
+            taken_at=self.net.sim.now,
+            snapshots=[snapshot_sn(sn) for sn in self.net.all_sns()],
+        )
+        self.history.append(report)
+        return report
+
+    def start_periodic(self, interval: float) -> None:
+        """Collect every ``interval`` virtual seconds until sim ends."""
+
+        def tick() -> None:
+            self.collect()
+            self.net.sim.schedule(interval, tick)
+
+        self.net.sim.schedule(interval, tick)
+
+    def deltas(self) -> Optional[dict[str, int]]:
+        """Packet/drop growth between the last two reports."""
+        if len(self.history) < 2:
+            return None
+        prev, curr = self.history[-2], self.history[-1]
+        return {
+            "packets": curr.total_packets - prev.total_packets,
+            "drops": curr.total_drops - prev.total_drops,
+            "interval": int(curr.taken_at - prev.taken_at),
+        }

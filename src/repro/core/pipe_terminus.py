@@ -1,0 +1,194 @@
+"""The pipe-terminus: an SN's fast path (Figure 2).
+
+Every packet entering an SN hits the pipe-terminus, which:
+
+1. decrypts the ILP header using the PSP context keyed by the packet's
+   outer L3 source;
+2. queries the decision cache on (L3 src, service ID, connection ID);
+3. on a hit, seals a (possibly TLV-rewritten) header per forwarding target
+   and transmits — multiple targets each get a copy;
+4. on a miss, punts the decrypted header + packet to the service module
+   over the invocation channel; the module's verdict may install cache
+   entries and emit packets, which the terminus seals and sends.
+
+The terminus is deliberately free of service logic; it is the part the
+paper expects to land in switch ASICs eventually (Appendix B.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .decision_cache import Action, CacheKey, Decision, DecisionCache
+from .ilp import Flags, ILPError, ILPHeader, TLV
+from .ipc import CostModel, InvocationChannel, InvocationMode
+from .offload import ActionKind, TerminusOffloadEngine
+from .packet import ILPPacket, L3Header, Payload
+from .psp import PSPError, PeerKeyStore
+from .service_module import ServiceError, Verdict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .execution_env import ExecutionEnvironment
+
+
+@dataclass
+class TerminusStats:
+    packets_in: int = 0
+    packets_out: int = 0
+    fast_path: int = 0
+    offload_path: int = 0
+    punts: int = 0
+    drops_no_peer: int = 0
+    drops_auth: int = 0
+    drops_malformed: int = 0
+    drops_no_service: int = 0
+    drops_by_decision: int = 0
+    drops_by_offload: int = 0
+    drops_by_service: int = 0
+
+
+class PipeTerminus:
+    """Fast-path packet engine of one service node."""
+
+    def __init__(
+        self,
+        node_address: str,
+        keystore: PeerKeyStore,
+        cache: DecisionCache,
+        env: "ExecutionEnvironment",
+        transmit: Callable[[str, ILPPacket], bool],
+        invocation_mode: InvocationMode = InvocationMode.IPC,
+        clock: Optional[Callable[[], float]] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.node_address = node_address
+        self.keystore = keystore
+        self.cache = cache
+        self.env = env
+        self._transmit = transmit
+        self.channel = InvocationChannel(invocation_mode)
+        self._clock = clock or (lambda: 0.0)
+        self.cost_model = cost_model or CostModel()
+        #: Appendix B.1: per-service offload programs (rules + meters)
+        #: consulted between the decision cache and the slow-path punt.
+        self.offload = TerminusOffloadEngine()
+        self.stats = TerminusStats()
+        #: Simulated-time processing delay to apply to the packets produced
+        #: by the *current* ingress event; read by the node's transmit hook.
+        self.pending_delay = 0.0
+
+    # -- ingress ----------------------------------------------------------
+    def receive(self, packet: ILPPacket) -> None:
+        """Process one packet arriving from any pipe."""
+        self.stats.packets_in += 1
+        self.pending_delay = self.cost_model.terminus_latency
+        peer = packet.l3.src
+        if not self.keystore.has(peer):
+            self.stats.drops_no_peer += 1
+            return
+        try:
+            plaintext = self.keystore.get(peer).open(packet.ilp_wire)
+        except PSPError:
+            self.stats.drops_auth += 1
+            return
+        try:
+            header = ILPHeader.decode(plaintext)
+        except ILPError:
+            self.stats.drops_malformed += 1
+            return
+
+        if header.is_control or (header.flags & Flags.LAST):
+            # Control and teardown packets always take the slow path: the
+            # service must see LAST to tear down its state and invalidate
+            # cache entries (a fast-path hit would hide it).
+            self._punt(header, packet)
+            return
+
+        key = CacheKey(
+            src=peer,
+            service_id=header.service_id,
+            connection_id=header.connection_id,
+        )
+        decision = self.cache.lookup(key, now=self._clock())
+        if decision is not None:
+            self._apply_decision(decision, header, packet.payload)
+            self.stats.fast_path += 1
+            return
+        offloaded = self.offload.process(
+            peer, header, packet.payload.wire_size, self._clock()
+        )
+        if offloaded.kind is ActionKind.DROP:
+            self.stats.drops_by_offload += 1
+            return
+        if offloaded.kind is ActionKind.FORWARD:
+            self.stats.offload_path += 1
+            self.send(offloaded.peer, header, packet.payload)
+            return
+        self._punt(header, packet)
+
+    # -- fast path --------------------------------------------------------
+    def _apply_decision(
+        self, decision: Decision, header: ILPHeader, payload: Payload
+    ) -> None:
+        if decision.action is Action.DROP:
+            self.stats.drops_by_decision += 1
+            return
+        for target in decision.targets:
+            out_header = header
+            if target.tlv_updates:
+                out_header = header.copy()
+                for tlv_type, value in target.tlv_updates:
+                    out_header.tlvs[tlv_type] = value
+            self.send(target.peer, out_header, payload)
+
+    # -- slow path ----------------------------------------------------------
+    def _punt(self, header: ILPHeader, packet: ILPPacket) -> None:
+        self.stats.punts += 1
+        if not self.env.has_service(header.service_id):
+            self.stats.drops_no_service += 1
+            return
+        in_enclave = self.env.enclave_for(header.service_id) is not None
+        self.pending_delay += (
+            self.cost_model.invocation_latency(self.channel.mode, in_enclave)
+            + self.cost_model.service_packet
+        )
+        try:
+            verdict: Verdict = self.channel.invoke(
+                self.env.dispatch, header, packet
+            )
+        except ServiceError:
+            self.stats.drops_by_service += 1
+            return
+        self.apply_verdict(verdict)
+
+    def apply_verdict(self, verdict: Verdict) -> None:
+        """Install cache entries and transmit a verdict's emitted packets."""
+        now = self._clock()
+        for key, decision in verdict.installs:
+            self.cache.install(key, decision, now=now)
+        if verdict.dropped:
+            self.stats.drops_by_service += 1
+        for emit in verdict.emits:
+            self.send(emit.peer, emit.header, emit.payload)
+
+    # -- egress ----------------------------------------------------------
+    def send(self, peer: str, header: ILPHeader, payload: Payload) -> bool:
+        """Seal a header for ``peer`` and transmit the packet to it."""
+        if not self.keystore.has(peer):
+            self.stats.drops_no_peer += 1
+            return False
+        wire = self.keystore.get(peer).seal(header.encode())
+        out = ILPPacket(
+            l3=L3Header(src=self.node_address, dst=peer),
+            ilp_wire=wire,
+            payload=payload,
+            created_at=self._clock(),
+        )
+        # Classification hint for egress QoS shapers: the original sending
+        # host, known here (post-decrypt) but opaque on the wire.
+        out.qos_src = header.get_str(TLV.SRC_HOST)  # type: ignore[attr-defined]
+        sent = self._transmit(peer, out)
+        if sent:
+            self.stats.packets_out += 1
+        return sent

@@ -1,0 +1,166 @@
+"""PSP-style per-packet header encryption between ILP peers.
+
+PSP's properties that ILP relies on (§4):
+
+* a single long-lived pairwise key protects many connections, so no extra
+  round trips at connection setup;
+* every packet is independently decryptable (the nonce travels with it), so
+  out-of-order arrival imposes no state or reordering requirements;
+* keys rotate without dropping in-flight packets (epoch byte selects the
+  key; the previous epoch stays valid during a grace window).
+
+Wire format of the sealed ILP header::
+
+    | epoch (1B) | nonce (8B) | ciphertext+tag (variable) |
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from . import crypto
+
+_HEADER_FMT = ">B8s"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+
+class PSPError(Exception):
+    """Raised on malformed PSP blobs or undecryptable packets."""
+
+
+@dataclass
+class PSPStats:
+    packets_sealed: int = 0
+    packets_opened: int = 0
+    auth_failures: int = 0
+    rekeys: int = 0
+    bytes_sealed: int = 0
+
+
+class PSPContext:
+    """One direction-agnostic security association between two ILP peers.
+
+    Both peers construct a context from the same master secret (established
+    at association time — host↔SN registration or SN↔SN pipe setup).
+    """
+
+    def __init__(self, master_secret: bytes, epoch: int = 0) -> None:
+        if len(master_secret) < 16:
+            raise PSPError("master secret too short")
+        self._master = master_secret
+        self._epoch = epoch & 0xFF
+        self._keys: dict[int, bytes] = {self._epoch: self._epoch_key(self._epoch)}
+        self._nonce = crypto.NonceGenerator()
+        self.stats = PSPStats()
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def _epoch_key(self, epoch: int) -> bytes:
+        return crypto.derive_key(self._master, "psp-epoch", bytes([epoch]))
+
+    def rotate(self) -> int:
+        """Advance to the next epoch; the prior epoch stays accepted.
+
+        Returns the new epoch. Both peers rotate on their own schedule —
+        receivers accept current and previous epochs, so rotation never
+        drops in-flight traffic (a property Appendix C's peering benchmark
+        exercises at scale).
+        """
+        previous = self._epoch
+        self._epoch = (self._epoch + 1) & 0xFF
+        self._keys = {
+            previous: self._keys[previous],
+            self._epoch: self._epoch_key(self._epoch),
+        }
+        self.stats.rekeys += 1
+        return self._epoch
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt an ILP header for the peer."""
+        nonce = self._nonce.next()
+        sealed = crypto.seal(self._keys[self._epoch], nonce, plaintext, aad)
+        self.stats.packets_sealed += 1
+        self.stats.bytes_sealed += len(plaintext)
+        return struct.pack(_HEADER_FMT, self._epoch, nonce) + sealed
+
+    def open(self, blob: bytes, aad: bytes = b"") -> bytes:
+        """Decrypt a sealed ILP header from the peer.
+
+        Raises:
+            PSPError: if the blob is malformed, the epoch unknown, or the
+                authentication tag fails.
+        """
+        if len(blob) < _HEADER_SIZE + crypto.TAG_SIZE:
+            raise PSPError("PSP blob too short")
+        epoch, nonce = struct.unpack_from(_HEADER_FMT, blob)
+        key = self._keys.get(epoch)
+        if key is None:
+            # A peer may be one epoch ahead of us; derive forward once.
+            if epoch == ((self._epoch + 1) & 0xFF):
+                key = self._epoch_key(epoch)
+                self._keys[epoch] = key
+            else:
+                self.stats.auth_failures += 1
+                raise PSPError(f"unknown PSP epoch {epoch}")
+        try:
+            plaintext = crypto.open_sealed(key, nonce, blob[_HEADER_SIZE:], aad)
+        except crypto.CryptoError as exc:
+            self.stats.auth_failures += 1
+            raise PSPError("PSP authentication failed") from exc
+        self.stats.packets_opened += 1
+        return plaintext
+
+    @staticmethod
+    def overhead() -> int:
+        """Wire bytes PSP adds beyond the plaintext header."""
+        return _HEADER_SIZE + crypto.TAG_SIZE
+
+
+@dataclass
+class PeerKeyStore:
+    """Per-node table of PSP contexts, keyed by peer address.
+
+    The pipe-terminus consults this on every packet: the packet's outer L3
+    source selects the context used to open its ILP header, and each
+    forwarding destination's context seals the outgoing header (Figure 2).
+    """
+
+    contexts: dict[str, PSPContext] = field(default_factory=dict)
+
+    def establish(self, peer: str, master_secret: bytes) -> PSPContext:
+        ctx = PSPContext(master_secret)
+        self.contexts[peer] = ctx
+        return ctx
+
+    def get(self, peer: str) -> PSPContext:
+        try:
+            return self.contexts[peer]
+        except KeyError:
+            raise PSPError(f"no PSP association with peer {peer}") from None
+
+    def has(self, peer: str) -> bool:
+        return peer in self.contexts
+
+    def remove(self, peer: str) -> None:
+        self.contexts.pop(peer, None)
+
+    def __len__(self) -> int:
+        return len(self.contexts)
+
+
+def pairwise_secret(addr_a: str, addr_b: str, realm: bytes = b"interedge") -> bytes:
+    """Deterministic shared secret for a peer pair.
+
+    Stands in for the out-of-band key exchange (e.g. Noise/IKE) that a real
+    deployment would run when an association is created; both sides derive
+    the same secret from their addresses, keeping simulations reproducible.
+    """
+    lo, hi = sorted((addr_a, addr_b))
+    return crypto.derive_key(
+        crypto.derive_key(realm.ljust(16, b"\x00"), "pair-root"),
+        "pair",
+        f"{lo}|{hi}".encode(),
+    )

@@ -1,0 +1,32 @@
+"""Interconnection economics: rates, neutrality, peering, brokers (§5)."""
+
+from .broker import BrokerError, CoverageBroker, CoveragePlan, IESPOffer
+from .neutrality import NeutralityAuditor, ServiceDecision, Violation
+from .peering import PeeringError, PeeringLedger, TrafficRecord
+from .rates import (
+    BillingEngine,
+    Invoice,
+    RateCard,
+    RateError,
+    ServiceRate,
+    VolumeTier,
+)
+
+__all__ = [
+    "BillingEngine",
+    "BrokerError",
+    "CoverageBroker",
+    "CoveragePlan",
+    "IESPOffer",
+    "Invoice",
+    "NeutralityAuditor",
+    "PeeringError",
+    "PeeringLedger",
+    "RateCard",
+    "RateError",
+    "ServiceDecision",
+    "ServiceRate",
+    "TrafficRecord",
+    "Violation",
+    "VolumeTier",
+]

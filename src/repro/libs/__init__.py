@@ -1,0 +1,44 @@
+"""Execution-environment libraries (§3.1).
+
+SNs ship an extensible set of libraries service modules can use for common
+tasks; the paper names cryptography (AES-NI), regular-expression matching
+(Pigasus-style), and video/audio re-encoding. Modules obtain them via
+``ctx.libs.get(name)`` so an SN operator can swap in accelerated versions
+(§3.1 "alternative versions that directly leverage various accelerators").
+"""
+
+from .cryptolib import CryptoLibrary
+from .media import MediaLibrary, TranscodeProfile
+from .regexlib import RegexLibrary
+
+LIB_CRYPTO = "crypto"
+LIB_REGEX = "regex"
+LIB_MEDIA = "media"
+
+
+def standard_libraries() -> dict[str, object]:
+    """The default (pure general-compute) library set every SN ships."""
+    return {
+        LIB_CRYPTO: CryptoLibrary(),
+        LIB_REGEX: RegexLibrary(),
+        LIB_MEDIA: MediaLibrary(),
+    }
+
+
+def install_standard_libraries(env) -> None:
+    """Provide the standard libraries to an execution environment."""
+    for name, lib in standard_libraries().items():
+        env.libs.provide(name, lib)
+
+
+__all__ = [
+    "CryptoLibrary",
+    "LIB_CRYPTO",
+    "LIB_MEDIA",
+    "LIB_REGEX",
+    "MediaLibrary",
+    "RegexLibrary",
+    "TranscodeProfile",
+    "install_standard_libraries",
+    "standard_libraries",
+]

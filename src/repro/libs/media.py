@@ -1,0 +1,93 @@
+"""Video/audio re-encoding library (the GPU-encoder stand-in).
+
+Transcoding at the edge (referenced in §3.1's library list and the
+transcode bundle) is modeled at the granularity the architecture cares
+about: a profile maps an input chunk to an output chunk whose size shrinks
+by the bitrate ratio, at a per-byte CPU cost the cost model can charge.
+The "encoded" output embeds a small descriptor so tests can verify which
+profile produced it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+
+class MediaError(Exception):
+    """Raised on invalid transcode requests."""
+
+
+@dataclass(frozen=True)
+class TranscodeProfile:
+    """An output rendition: name plus bitrate relative to source."""
+
+    name: str
+    bitrate_ratio: float  # output bits per input bit, in (0, 1]
+    cpu_cost_per_byte: float = 5e-9  # virtual seconds per input byte
+
+    def __post_init__(self) -> None:
+        if not 0 < self.bitrate_ratio <= 1:
+            raise MediaError("bitrate_ratio must be in (0, 1]")
+
+
+#: Standard ladder, loosely an ABR set.
+PROFILES = {
+    "1080p": TranscodeProfile("1080p", 1.0),
+    "720p": TranscodeProfile("720p", 0.55),
+    "480p": TranscodeProfile("480p", 0.30),
+    "audio": TranscodeProfile("audio", 0.05),
+}
+
+_MAGIC = b"MRE1"
+
+
+class MediaLibrary:
+    """Chunk transcoding with deterministic, inspectable output."""
+
+    def __init__(self) -> None:
+        self.chunks_encoded = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def profiles(self) -> list[str]:
+        return sorted(PROFILES)
+
+    def transcode(self, chunk: bytes, profile_name: str) -> bytes:
+        """Re-encode a chunk to a profile.
+
+        Output layout: MAGIC | profile-name-len | profile-name |
+        original-len | truncated body sized by the bitrate ratio.
+        """
+        try:
+            profile = PROFILES[profile_name]
+        except KeyError:
+            raise MediaError(f"unknown profile {profile_name!r}") from None
+        out_len = max(1, int(len(chunk) * profile.bitrate_ratio))
+        name = profile.name.encode()
+        header = _MAGIC + struct.pack(">B", len(name)) + name + struct.pack(
+            ">I", len(chunk)
+        )
+        body = chunk[:out_len]
+        self.chunks_encoded += 1
+        self.bytes_in += len(chunk)
+        self.bytes_out += len(header) + len(body)
+        return header + body
+
+    @staticmethod
+    def describe(encoded: bytes) -> tuple[str, int, int]:
+        """(profile, original_len, encoded_body_len) of a transcoded chunk."""
+        if not encoded.startswith(_MAGIC):
+            raise MediaError("not a transcoded chunk")
+        name_len = encoded[len(_MAGIC)]
+        offset = len(_MAGIC) + 1
+        name = encoded[offset : offset + name_len].decode()
+        offset += name_len
+        (original_len,) = struct.unpack_from(">I", encoded, offset)
+        body_len = len(encoded) - offset - 4
+        return name, original_len, body_len
+
+    def cpu_cost(self, chunk_len: int, profile_name: str) -> float:
+        """Virtual CPU seconds to transcode a chunk (cost-model hook)."""
+        profile = PROFILES[profile_name]
+        return chunk_len * profile.cpu_cost_per_byte

@@ -1,0 +1,63 @@
+"""Discrete-event network simulation substrate for the InterEdge.
+
+Public surface:
+
+* :class:`Simulator`, :class:`Timer`, :class:`PeriodicTask` — the event loop.
+* :class:`Link`, :class:`NetNode` — wires and devices.
+* :class:`Topology` and the ``build_*`` helpers — graph construction.
+* :class:`ASGraph` — the IP underlay used by the hijack experiment.
+* :class:`PacketTrace`, :class:`FlowStats` — measurement.
+"""
+
+from .engine import EventHandle, PeriodicTask, SimulationError, Simulator, Timer
+from .ipnet import ASGraph, AutonomousSystem, IPNetError, Route, build_random_as_graph
+from .link import DEFAULT_MTU, Link, LinkError, LinkStats, frame_size
+from .node import EchoNode, NetNode, NodeError, SinkNode
+from .topology import Topology, build_full_mesh, build_line, build_star
+from .trace import FlowStats, LatencySample, PacketTrace, TraceRecord, percentile, summarize
+from .workloads import (
+    CBRSource,
+    OnOffSource,
+    PoissonSource,
+    TrafficSink,
+    WorkloadError,
+    ZipfRequestStream,
+)
+
+__all__ = [
+    "ASGraph",
+    "CBRSource",
+    "OnOffSource",
+    "PoissonSource",
+    "TrafficSink",
+    "WorkloadError",
+    "ZipfRequestStream",
+    "AutonomousSystem",
+    "DEFAULT_MTU",
+    "EchoNode",
+    "EventHandle",
+    "FlowStats",
+    "IPNetError",
+    "LatencySample",
+    "Link",
+    "LinkError",
+    "LinkStats",
+    "NetNode",
+    "NodeError",
+    "PacketTrace",
+    "PeriodicTask",
+    "Route",
+    "SimulationError",
+    "Simulator",
+    "SinkNode",
+    "Timer",
+    "Topology",
+    "TraceRecord",
+    "build_full_mesh",
+    "build_line",
+    "build_random_as_graph",
+    "build_star",
+    "frame_size",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,228 @@
+"""Discrete-event simulation engine.
+
+The InterEdge reproduction runs on two substrates: real wall-clock
+microbenchmarks (for Table 1) and a simulated network (for everything that
+needs topology, latency, and many nodes). This module provides the simulated
+substrate's core: a deterministic event loop with a virtual clock.
+
+The engine is deliberately minimal and synchronous. Events are callbacks
+scheduled at absolute virtual times; ties are broken by insertion order so
+runs are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(Exception):
+    """Raised for invalid uses of the simulation engine."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`, usable to cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = _ScheduledEvent(self._now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, when: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when}, current time is {self._now}"
+            )
+        event = _ScheduledEvent(when, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events in time order.
+
+        Args:
+            until: stop once virtual time would exceed this (the clock is
+                advanced to ``until`` on return).
+            max_events: stop after this many events (a runaway guard).
+
+        Returns:
+            The number of events processed by this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback(*event.args)
+                processed += 1
+                self._events_processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return processed
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain (bounded by ``max_events``)."""
+        return self.run(max_events=max_events)
+
+
+class Timer:
+    """A restartable one-shot timer on a :class:`Simulator`.
+
+    Used by protocol state machines (retransmits, keepalives, rekeys).
+    """
+
+    def __init__(
+        self, sim: Simulator, callback: Callable[[], None]
+    ) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` seconds from now."""
+        self.stop()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
+class PeriodicTask:
+    """Repeatedly invoke a callback at a fixed virtual-time interval."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        jitter: float = 0.0,
+        rng=None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self._rng = rng
+        self._handle: Optional[EventHandle] = None
+        self._stopped = True
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        self._stopped = False
+        delay = self._interval if initial_delay is None else initial_delay
+        self._handle = self._sim.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _next_delay(self) -> float:
+        if self._jitter and self._rng is not None:
+            return self._interval + self._rng.uniform(-self._jitter, self._jitter)
+        return self._interval
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._handle = self._sim.schedule(self._next_delay(), self._tick)

@@ -1,0 +1,148 @@
+"""Point-to-point links with latency, bandwidth, loss, and MTU.
+
+A :class:`Link` connects two :class:`~repro.netsim.node.NetNode` interfaces.
+Frames are any objects exposing a ``wire_size`` attribute (bytes on the
+wire); delivery is scheduled on the simulator after propagation plus
+serialization delay, with optional random loss.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from .engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import NetNode
+
+DEFAULT_MTU = 1500
+
+
+class LinkError(Exception):
+    """Raised on invalid link operations (e.g. MTU exceeded)."""
+
+
+@dataclass
+class LinkStats:
+    """Counters kept per link direction."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_dropped_loss: int = 0
+    frames_dropped_down: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+
+def frame_size(frame: Any) -> int:
+    """Size in bytes of a frame on the wire."""
+    size = getattr(frame, "wire_size", None)
+    if size is None:
+        if isinstance(frame, (bytes, bytearray)):
+            return len(frame)
+        raise LinkError(f"frame {frame!r} has no wire_size")
+    return int(size)
+
+
+class Link:
+    """A bidirectional point-to-point link between two nodes.
+
+    Args:
+        sim: the simulator driving delivery events.
+        a, b: the endpoint nodes.
+        latency: one-way propagation delay in seconds.
+        bandwidth_bps: link rate in bits/sec; 0 means infinite.
+        loss_rate: independent per-frame drop probability.
+        mtu: maximum frame size in bytes.
+        rng: random source for loss decisions (deterministic tests pass a
+            seeded ``random.Random``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "NetNode",
+        b: "NetNode",
+        latency: float = 0.001,
+        bandwidth_bps: float = 0.0,
+        loss_rate: float = 0.0,
+        mtu: int = DEFAULT_MTU,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if latency < 0:
+            raise LinkError("latency must be non-negative")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise LinkError("loss_rate must be in [0, 1]")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.bandwidth_bps = bandwidth_bps
+        self.loss_rate = loss_rate
+        self.mtu = mtu
+        self.up = True
+        self._rng = rng or random.Random(0)
+        # Earliest time each direction's transmitter is free again, used to
+        # model serialization at the configured bandwidth.
+        self._tx_free_at = {a: 0.0, b: 0.0}
+        self.stats = {a: LinkStats(), b: LinkStats()}
+        a.attach_link(self)
+        b.attach_link(self)
+
+    def other(self, node: "NetNode") -> "NetNode":
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise LinkError(f"{node!r} is not attached to this link")
+
+    def set_down(self) -> None:
+        """Fail the link; in-flight frames still arrive (already on the wire)."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+
+    def transmit(self, frame: Any, src: "NetNode") -> bool:
+        """Send ``frame`` from ``src`` toward the other endpoint.
+
+        Returns True if the frame was put on the wire (it may still be lost).
+        """
+        dst = self.other(src)
+        stats = self.stats[src]
+        size = frame_size(frame)
+        if size > self.mtu:
+            raise LinkError(f"frame of {size}B exceeds MTU {self.mtu}")
+        if not self.up:
+            stats.frames_dropped_down += 1
+            return False
+        stats.frames_sent += 1
+        stats.bytes_sent += size
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            stats.frames_dropped_loss += 1
+            return False
+        serialization = (
+            (size * 8) / self.bandwidth_bps if self.bandwidth_bps > 0 else 0.0
+        )
+        start = max(self.sim.now, self._tx_free_at[src])
+        done = start + serialization
+        self._tx_free_at[src] = done
+        arrival = done + self.latency
+        self.sim.schedule_at(arrival, self._deliver, frame, src, dst, size)
+        return True
+
+    def _deliver(
+        self, frame: Any, src: "NetNode", dst: "NetNode", size: int
+    ) -> None:
+        stats = self.stats[src]
+        stats.frames_delivered += 1
+        stats.bytes_delivered += size
+        dst.receive_frame(frame, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.a.name}<->{self.b.name}, lat={self.latency}s, "
+            f"bw={self.bandwidth_bps}bps)"
+        )

@@ -1,0 +1,87 @@
+"""Network node base class.
+
+A :class:`NetNode` is anything attached to links: hosts, service nodes,
+underlay routers. Subclasses override :meth:`handle_frame`. Nodes keep a
+neighbor table (node → link) so higher layers can send by next-hop node
+rather than by interface index.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .engine import Simulator
+from .link import Link
+
+
+class NodeError(Exception):
+    """Raised for invalid node operations (e.g. no link to neighbor)."""
+
+
+class NetNode:
+    """Base class for all simulated devices."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.links: list[Link] = []
+        self._neighbor_links: dict["NetNode", Link] = {}
+        self.frames_received = 0
+        self.frames_sent = 0
+        # Optional tap invoked for every received frame (tracing/tests).
+        self.rx_tap: Optional[Callable[[Any, Link], None]] = None
+
+    def attach_link(self, link: Link) -> None:
+        self.links.append(link)
+        self._neighbor_links[link.other(self)] = link
+
+    def neighbors(self) -> list["NetNode"]:
+        return list(self._neighbor_links)
+
+    def link_to(self, neighbor: "NetNode") -> Link:
+        try:
+            return self._neighbor_links[neighbor]
+        except KeyError:
+            raise NodeError(f"{self.name} has no link to {neighbor.name}") from None
+
+    def has_link_to(self, neighbor: "NetNode") -> bool:
+        return neighbor in self._neighbor_links
+
+    def send_frame(self, frame: Any, neighbor: "NetNode") -> bool:
+        """Transmit a frame to a directly connected neighbor."""
+        link = self.link_to(neighbor)
+        sent = link.transmit(frame, self)
+        if sent:
+            self.frames_sent += 1
+        return sent
+
+    def receive_frame(self, frame: Any, link: Link) -> None:
+        """Entry point called by links; dispatches to :meth:`handle_frame`."""
+        self.frames_received += 1
+        if self.rx_tap is not None:
+            self.rx_tap(frame, link)
+        self.handle_frame(frame, link)
+
+    def handle_frame(self, frame: Any, link: Link) -> None:
+        """Process a received frame. Subclasses override."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+class SinkNode(NetNode):
+    """A node that records everything it receives (test/benchmark helper)."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, name)
+        self.received: list[Any] = []
+
+    def handle_frame(self, frame: Any, link: Link) -> None:
+        self.received.append(frame)
+
+
+class EchoNode(NetNode):
+    """A node that bounces every frame back to its sender."""
+
+    def handle_frame(self, frame: Any, link: Link) -> None:
+        link.transmit(frame, self)

@@ -1,0 +1,55 @@
+"""Strict-priority scheduling with WFQ within each priority level.
+
+The last-hop QoS service lets a household say "gaming is priority-high,
+everything else shares the rest by weight" (§6.2). That maps to strict
+priority between levels and WFQ among flows within a level.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .wfq import SchedulerError, WeightedFairQueue
+
+
+class PriorityScheduler:
+    """Strict priorities (lower number = served first), WFQ within each."""
+
+    def __init__(self) -> None:
+        self._levels: dict[int, WeightedFairQueue] = {}
+        self._flow_level: dict[str, int] = {}
+
+    def add_flow(self, name: str, priority: int, weight: float = 1.0) -> None:
+        if name in self._flow_level:
+            raise SchedulerError(f"flow {name!r} already exists")
+        level = self._levels.setdefault(priority, WeightedFairQueue())
+        level.add_flow(name, weight)
+        self._flow_level[name] = priority
+
+    def enqueue(self, flow: str, size_bytes: int, item: Any) -> None:
+        try:
+            priority = self._flow_level[flow]
+        except KeyError:
+            raise SchedulerError(f"unknown flow {flow!r}") from None
+        self._levels[priority].enqueue(flow, size_bytes, item)
+
+    def dequeue(self) -> Optional[tuple[str, int, Any]]:
+        for priority in sorted(self._levels):
+            result = self._levels[priority].dequeue()
+            if result is not None:
+                return result
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(level) for level in self._levels.values())
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def bytes_dequeued(self, flow: str) -> int:
+        priority = self._flow_level[flow]
+        return self._levels[priority].bytes_dequeued(flow)
+
+    def flows(self) -> list[str]:
+        return sorted(self._flow_level)

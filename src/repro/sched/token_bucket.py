@@ -1,0 +1,53 @@
+"""Token-bucket rate limiter / shaper."""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """A classic token bucket.
+
+    Args:
+        rate_bps: sustained rate in bits per second.
+        burst_bytes: bucket depth in bytes (max burst).
+
+    Time is supplied by callers (virtual or wall-clock), keeping the bucket
+    usable both under netsim and in real benchmarks.
+    """
+
+    def __init__(self, rate_bps: float, burst_bytes: int) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if burst_bytes <= 0:
+            raise ValueError("burst must be positive")
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(
+                self.burst_bytes,
+                self._tokens + (now - self._last) * self.rate_bps / 8.0,
+            )
+            self._last = now
+
+    def tokens_at(self, now: float) -> float:
+        self._refill(now)
+        return self._tokens
+
+    def try_consume(self, size_bytes: int, now: float) -> bool:
+        """Consume tokens for a packet if available; False = drop/queue."""
+        self._refill(now)
+        if self._tokens >= size_bytes:
+            self._tokens -= size_bytes
+            return True
+        return False
+
+    def time_until_available(self, size_bytes: int, now: float) -> float:
+        """Seconds until ``size_bytes`` tokens will have accumulated."""
+        self._refill(now)
+        deficit = size_bytes - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit * 8.0 / self.rate_bps

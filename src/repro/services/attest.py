@@ -1,0 +1,103 @@
+"""Attestation service (§3.3 "basic primitives (such as pub/sub or
+attestation)", §6.3).
+
+Lets a client verify what software stack its first-hop SN is running
+before trusting it with a privacy-sensitive service: the client sends a
+nonce, the SN's service module returns a TPM quote over the PCRs covering
+the boot chain, execution environment, loaded services, and enclaves,
+plus the extend log needed for verification.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..core.attestation import AttestationVerifier, Quote
+from ..core.ilp import Flags, ILPHeader, TLV
+from ..core.packet import Payload, make_payload
+from ..core.service_module import Emit, ServiceModule, Verdict, WellKnownService
+
+OP_CHALLENGE = b"challenge"
+OP_QUOTE = b"quote"
+
+
+class AttestationService(ServiceModule):
+    """Quote-on-demand for the local SN."""
+
+    SERVICE_ID = WellKnownService.ATTESTATION
+    NAME = "attestation"
+    VERSION = "1.0"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.quotes_issued = 0
+
+    def handle_control(self, header: ILPHeader, packet: Any) -> Verdict:
+        assert self.ctx is not None
+        if header.tlvs.get(TLV.SERVICE_OPTS, b"") != OP_CHALLENGE:
+            return Verdict.drop()
+        nonce = header.tlvs.get(TLV.SERVICE_PRIVATE)
+        client = header.get_str(TLV.SRC_HOST)
+        if nonce is None or client is None:
+            return Verdict.drop()
+        tpm = self.ctx.node.env.tpm
+        quote = tpm.quote(nonce)
+        blob = pickle.dumps(
+            {"quote": quote, "extend_log": list(tpm.extend_log)},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self.quotes_issued += 1
+        reply = ILPHeader(
+            service_id=self.SERVICE_ID,
+            connection_id=header.connection_id,
+            flags=Flags.CONTROL,
+        )
+        reply.tlvs[TLV.SERVICE_OPTS] = OP_QUOTE
+        return Verdict(emits=[Emit(client, reply, make_payload(blob))])
+
+    def handle_packet(self, header: ILPHeader, packet: Any) -> Verdict:
+        return Verdict.drop()
+
+
+@dataclass
+class AttestationClient:
+    """Host-side agent: challenge the first-hop SN and verify its quote."""
+
+    host: Any
+    verifier: AttestationVerifier
+    results: list[bool] = field(default_factory=list)
+    on_result: Optional[Callable[[bool], None]] = None
+    _nonce: bytes = b""
+
+    def install(self) -> None:
+        self.host.on_service_control(
+            WellKnownService.ATTESTATION, self._on_packet
+        )
+
+    def challenge(self, nonce: bytes) -> bool:
+        self._nonce = nonce
+        return self.host.send_control(
+            WellKnownService.ATTESTATION,
+            {TLV.SERVICE_OPTS: OP_CHALLENGE, TLV.SERVICE_PRIVATE: nonce},
+        )
+
+    def _on_packet(self, conn_id: int, header: ILPHeader, payload: Payload) -> None:
+        if header.tlvs.get(TLV.SERVICE_OPTS) != OP_QUOTE:
+            return
+        try:
+            data = pickle.loads(payload.data)
+            quote: Quote = data["quote"]
+            extend_log = data["extend_log"]
+        except Exception:
+            self._record(False)
+            return
+        self._record(
+            self.verifier.verify(quote, self._nonce, extend_log)
+        )
+
+    def _record(self, ok: bool) -> None:
+        self.results.append(ok)
+        if self.on_result is not None:
+            self.on_result(ok)

@@ -1,0 +1,57 @@
+"""Shared service-module plumbing.
+
+Most point-to-point services end with the same step: route a packet toward
+the host named in DEST_ADDR — locally if associated here, else via the
+destination's SN (from the DEST_SN TLV or the lookup service) using the
+§3.2 inter-edomain forwarding rules. This helper implements that step once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.ilp import ILPHeader, TLV
+from ..core.packet import Payload
+from ..core.service_module import Verdict
+
+
+def resolve_dest_sn(ctx: Any, header: ILPHeader, dest: str) -> Optional[str]:
+    """Destination SN address from the header, else the lookup service.
+
+    On a lookup hit the DEST_SN TLV is pinned into the header so downstream
+    SNs (and fast-path copies) need not resolve again.
+    """
+    dest_sn = header.get_str(TLV.DEST_SN)
+    if dest_sn is not None:
+        return dest_sn
+    control = ctx.control_plane()
+    if control is None:
+        return None
+    record = control.lookup.address_record(dest)
+    if record is None or not record.associated_sns:
+        return None
+    dest_sn = record.associated_sns[0]
+    header.set_str(TLV.DEST_SN, dest_sn)
+    return dest_sn
+
+
+def next_peer_toward(ctx: Any, header: ILPHeader) -> Optional[str]:
+    """The next ILP peer for a DEST_ADDR-addressed packet, or None."""
+    dest = header.get_str(TLV.DEST_ADDR)
+    if dest is None:
+        return None
+    local = ctx.peer_for_host(dest)
+    if local is not None:
+        return local
+    dest_sn = resolve_dest_sn(ctx, header, dest)
+    if dest_sn is None or dest_sn == ctx.node_address:
+        return None
+    return ctx.next_hop_for_sn(dest_sn)
+
+
+def deliver_toward(ctx: Any, header: ILPHeader, payload: Payload) -> Verdict:
+    """Forward toward DEST_ADDR, or drop if unroutable."""
+    peer = next_peer_toward(ctx, header)
+    if peer is None:
+        return Verdict.drop()
+    return Verdict.forward(peer, header, payload)

@@ -1,0 +1,52 @@
+"""The null service — the Table 1 microbenchmark service.
+
+Appendix C: "the packet arrives on an ingress pipe to the pipe-terminus,
+then is sent to a service module (via IPC) which immediately returns the
+packet to the pipe-terminus, which then sends it to an egress pipe."
+
+The module does no work beyond echoing a forward verdict. It deliberately
+installs **no** decision-cache entry, so every packet takes the slow path —
+that is exactly what the null-service row of Table 1 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.ilp import ILPHeader, TLV
+from ..core.service_module import ServiceModule, Verdict, WellKnownService
+
+
+class NullService(ServiceModule):
+    """Immediately return every packet toward its destination."""
+
+    SERVICE_ID = WellKnownService.NULL
+    NAME = "null"
+    VERSION = "1.0"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.packets_seen = 0
+
+    def handle_packet(self, header: ILPHeader, packet: Any) -> Verdict:
+        self.packets_seen += 1
+        dest = header.get_str(TLV.DEST_ADDR)
+        if dest is None:
+            return Verdict.drop()
+        assert self.ctx is not None
+        local = self.ctx.peer_for_host(dest)
+        if local is not None:
+            return Verdict.forward(local, header, packet.payload)
+        dest_sn = header.get_str(TLV.DEST_SN)
+        if dest_sn is None:
+            return Verdict.drop()
+        next_hop = self.ctx.next_hop_for_sn(dest_sn)
+        if next_hop is None:
+            return Verdict.drop()
+        return Verdict.forward(next_hop, header, packet.payload)
+
+    def checkpoint(self) -> dict[str, Any]:
+        return {"packets_seen": self.packets_seen}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        self.packets_seen = state.get("packets_seen", 0)

@@ -1,0 +1,28 @@
+"""WireGuard-style tunnel substrate for the direct-peering evaluation."""
+
+from .mesh import MeshReport, TunnelMesh
+from .tunnel import (
+    DEFAULT_KEEPALIVE_INTERVAL,
+    DEFAULT_REKEY_INTERVAL,
+    HANDSHAKE_INITIATION_BYTES,
+    HANDSHAKE_RESPONSE_BYTES,
+    KEEPALIVE_BYTES,
+    TRANSPORT_OVERHEAD_BYTES,
+    TunnelError,
+    TunnelStats,
+    WireGuardTunnel,
+)
+
+__all__ = [
+    "DEFAULT_KEEPALIVE_INTERVAL",
+    "DEFAULT_REKEY_INTERVAL",
+    "HANDSHAKE_INITIATION_BYTES",
+    "HANDSHAKE_RESPONSE_BYTES",
+    "KEEPALIVE_BYTES",
+    "MeshReport",
+    "TRANSPORT_OVERHEAD_BYTES",
+    "TunnelError",
+    "TunnelMesh",
+    "TunnelStats",
+    "WireGuardTunnel",
+]

@@ -1,0 +1,57 @@
+"""Shared fixtures: small InterEdge federations in common shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InterEdge
+from repro.services import standard_registry
+
+
+@pytest.fixture
+def net() -> InterEdge:
+    """An empty federation with the standard service catalog."""
+    return InterEdge(registry=standard_registry())
+
+
+@pytest.fixture
+def two_edomain_net() -> InterEdge:
+    """Two edomains, two SNs each, fully peered, all services deployed.
+
+    Layout::
+
+        west: sn[0] (border), sn[1]       east: sn[2] (border), sn[3]
+    """
+    net = InterEdge(registry=standard_registry())
+    net.create_edomain("west")
+    net.create_edomain("east")
+    net.add_sn("west", name="sn-w0")
+    net.add_sn("west", name="sn-w1")
+    net.add_sn("east", name="sn-e0")
+    net.add_sn("east", name="sn-e1")
+    net.peer_all()
+    net.deploy_required_services()
+    return net
+
+
+def sns_of(net: InterEdge, edomain: str):
+    return [net.edomains[edomain].sns[a] for a in net.edomains[edomain].sn_addresses()]
+
+
+@pytest.fixture
+def single_sn_net() -> InterEdge:
+    """One edomain, one SN, services deployed — the minimal deployment."""
+    net = InterEdge(registry=standard_registry())
+    net.create_edomain("solo")
+    net.add_sn("solo", name="sn0")
+    net.peer_all()
+    net.deploy_required_services()
+    return net
+
+
+def open_group(net: InterEdge, owner_host, name: str) -> None:
+    """Register ``name`` as an open group for every multipoint service."""
+    for prefix in ("pubsub", "multicast", "anycast"):
+        group = f"{prefix}:{name}"
+        net.lookup.register_group(group, owner_host.keypair)
+        net.lookup.post_open_group(group, owner_host.keypair)

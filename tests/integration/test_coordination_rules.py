@@ -1,0 +1,115 @@
+"""Integration: the §5 SN-coordination guidelines, end to end.
+
+§5's "first thorny problem": different parties pay for different SN
+associations, so which SN handles what? The paper's starting guideline:
+
+    "the client's request for content would travel to its own first-hop SN
+    (dictated by the enterprise's InterEdge configuration), then to the
+    first-hop SN run by the IESP hired by the application provider. The
+    return path would be the reverse, with the cached content going from
+    the SN paid for by the application provider to the SN paid for by the
+    enterprise and then to the client itself."
+
+This test builds exactly that: an enterprise pass-through SN (paid by the
+enterprise, applies to all traffic) in front of the application
+provider's caching SN (paid by the app provider), and checks both the
+forward and return paths traverse the right SNs in the right order.
+"""
+
+import pytest
+
+from repro import WellKnownService
+from repro.core.ilp import TLV
+from repro.core.service_node import ServiceNode
+from repro.services.caching import make_response, parse_request
+from repro.services.firewall import ImposedFirewall, RuleSet
+
+
+@pytest.fixture
+def coordination_world(two_edomain_net):
+    net = two_edomain_net
+    west = net.edomains["west"]
+    east = net.edomains["east"]
+    app_sn = west.sns[west.sn_addresses()[1]]  # the app provider's IESP SN
+    origin_sn = east.sns[east.sn_addresses()[1]]
+
+    # The enterprise's own pass-through SN, applied to ALL client traffic.
+    ent_sn = ServiceNode(net.sim, "ent-sn", "10.77.0.1", edomain_name="west")
+    ent_sn.directory = net.directory
+    net.directory.register(ent_sn.address, "west", via=app_sn.address)
+    ent_sn.establish_pipe(app_sn, latency=0.001)
+    ent_sn.configure_pass_through(
+        next_hop=app_sn.address, chain=[ImposedFirewall(RuleSet())]
+    )
+
+    client = net.add_host(ent_sn, name="client", latency=0.0005)
+    origin = net.add_host(origin_sn, name="origin")
+
+    def serve(conn_id, header, payload):
+        url = parse_request(payload.data)
+        if url is None:
+            return
+        requester = header.get_str(TLV.SRC_HOST)
+        conn = origin.connect(
+            WellKnownService.CACHING_BUNDLE,
+            dest_addr=requester,
+            dest_sn=ent_sn.address,  # the client's SN of record
+            allow_direct=False,
+        )
+        conn.connection_id = conn_id
+        origin._connections[conn_id] = conn
+        origin.send(conn, make_response(url, b"CONTENT"), first=False)
+
+    origin.on_service_data(WellKnownService.CACHING_BUNDLE, serve)
+    net.lookup.register_address(
+        client.address, client.keypair, associated_sns=[ent_sn.address]
+    )
+    return net, client, origin, ent_sn, app_sn
+
+
+class TestCoordinationRules:
+    def test_forward_path_enterprise_then_app_sn(self, coordination_world):
+        net, client, origin, ent_sn, app_sn = coordination_world
+        conn = client.connect(
+            WellKnownService.CACHING_BUNDLE,
+            dest_addr=origin.address,
+            allow_direct=False,
+        )
+        client.send(conn, b"GET /page")
+        net.run(1.0)
+        # Enterprise SN saw it first (pass-through), then the app SN.
+        assert ent_sn.terminus.stats.packets_in >= 1
+        assert app_sn.terminus.stats.packets_in >= 1
+        module = app_sn.env.service(WellKnownService.CACHING_BUNDLE)
+        assert module.requests == 1
+
+    def test_return_path_reverses_through_both(self, coordination_world):
+        net, client, origin, ent_sn, app_sn = coordination_world
+        conn = client.connect(
+            WellKnownService.CACHING_BUNDLE,
+            dest_addr=origin.address,
+            allow_direct=False,
+        )
+        client.send(conn, b"GET /page")
+        net.run(1.0)
+        responses = [
+            p.data for _, p in client.delivered if p.data.startswith(b"DATA")
+        ]
+        assert responses and b"CONTENT" in responses[0]
+
+    def test_cache_hit_at_app_sn_never_reaches_origin(self, coordination_world):
+        net, client, origin, ent_sn, app_sn = coordination_world
+        module = app_sn.env.service(WellKnownService.CACHING_BUNDLE)
+        for _ in range(2):
+            conn = client.connect(
+                WellKnownService.CACHING_BUNDLE,
+                dest_addr=origin.address,
+                allow_direct=False,
+            )
+            client.send(conn, b"GET /page")
+            net.run(1.0)
+        assert module.origin_fetches == 1  # second request served at the edge
+        responses = [
+            p.data for _, p in client.delivered if p.data.startswith(b"DATA")
+        ]
+        assert len(responses) == 2

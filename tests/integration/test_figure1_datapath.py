@@ -1,0 +1,110 @@
+"""Integration: the Figure 1 component picture, executed.
+
+Figure 1 shows hosts with host stacks and per-app connections, host-to-SN
+pipes, SN-to-SN pipes, and packets carrying L2 | L3 | (encrypted ILP) |
+L4+data. These tests walk real packets through that exact structure and
+assert each element behaves as drawn.
+"""
+
+import pytest
+
+from repro import WellKnownService
+from repro.core.ilp import ILPHeader
+from repro.core.packet import ILPPacket
+from repro.core.psp import PSPContext, pairwise_secret
+
+
+def sn_of(net, edomain, index):
+    dom = net.edomains[edomain]
+    return dom.sns[dom.sn_addresses()[index]]
+
+
+class TestFigure1:
+    def test_full_path_host_sn_sn_host(self, two_edomain_net):
+        """client → SN → (border pipes) → SN → server (§3.2 typical path)."""
+        net = two_edomain_net
+        sn_c = sn_of(net, "west", 1)
+        sn_s = sn_of(net, "east", 1)
+        client = net.add_host(sn_c, name="client")
+        server = net.add_host(sn_s, name="server")
+        conn = client.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=server.address
+        )
+        client.send(conn, b"figure-1")
+        net.run(1.0)
+        assert [p.data for _, p in server.delivered] == [b"figure-1"]
+        # The packet traversed both inner SNs and both borders.
+        for sn in (sn_c, sn_of(net, "west", 0), sn_of(net, "east", 0), sn_s):
+            assert sn.terminus.stats.packets_in >= 1
+
+    def test_two_apps_one_host_distinct_connections(self, two_edomain_net):
+        """Figure 1 shows App A and App B sharing one host stack."""
+        net = two_edomain_net
+        sn = sn_of(net, "west", 0)
+        host = net.add_host(sn, name="dual-app")
+        peer = net.add_host(sn, name="peer")
+        app_a = host.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=peer.address, allow_direct=False
+        )
+        app_b = host.connect(
+            WellKnownService.CACHING_BUNDLE, dest_addr=peer.address, allow_direct=False
+        )
+        assert app_a.connection_id != app_b.connection_id
+        host.send(app_a, b"from-app-a")
+        host.send(app_b, b"from-app-b")
+        net.run(1.0)
+        services = sorted(h.service_id for h, p in peer.delivered if p.data)
+        assert services == sorted(
+            [WellKnownService.IP_DELIVERY, WellKnownService.CACHING_BUNDLE]
+        )
+
+    def test_wire_format_layers(self, two_edomain_net):
+        """On the wire: plaintext L3, encrypted ILP header, opaque payload."""
+        net = two_edomain_net
+        sn = sn_of(net, "west", 0)
+        client = net.add_host(sn, name="client")
+        server = net.add_host(sn, name="server")
+        captured = []
+        sn.rx_tap = lambda frame, link: captured.append(frame)
+        conn = client.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=server.address, allow_direct=False
+        )
+        client.send(conn, b"layered")
+        net.run(1.0)
+        frame = captured[0]
+        assert isinstance(frame, ILPPacket)
+        # L3 is readable (the underlay routes on it).
+        assert frame.l3.src == client.address
+        assert frame.l3.dst == sn.address
+        # The ILP header is NOT readable without the pairwise key...
+        with pytest.raises(Exception):
+            ILPHeader.decode(frame.ilp_wire)
+        # ...but decrypts with it.
+        ctx = PSPContext(pairwise_secret(client.address, sn.address))
+        # (fresh context, same secret — PSP is stateless per packet)
+        decoded = ILPHeader.decode(ctx.open(frame.ilp_wire))
+        assert decoded.connection_id == conn.connection_id
+        # Application payload rides behind, untouched.
+        assert frame.payload.data == b"layered"
+
+    def test_eavesdropper_between_sns_sees_nothing(self, two_edomain_net):
+        """An observer on the SN-SN pipe learns endpoints' SNs, not content
+        or inner addresses (the §4 trust model)."""
+        net = two_edomain_net
+        border_w = sn_of(net, "west", 0)
+        border_e = sn_of(net, "east", 0)
+        client = net.add_host(sn_of(net, "west", 1), name="client")
+        server = net.add_host(sn_of(net, "east", 1), name="server")
+        wire = []
+        border_e.rx_tap = lambda frame, link: wire.append(frame)
+        conn = client.connect(WellKnownService.IP_DELIVERY, dest_addr=server.address)
+        client.send(conn, b"payload-bytes")
+        net.run(1.0)
+        inter_domain = [
+            f for f in wire if isinstance(f, ILPPacket) and f.l3.src == border_w.address
+        ]
+        assert inter_domain
+        blob = inter_domain[0].ilp_wire
+        # Host addresses appear nowhere in the encrypted header bytes.
+        assert client.address.encode() not in blob
+        assert server.address.encode() not in blob

@@ -1,0 +1,107 @@
+"""Integration soak: a metro federation under sustained mixed workloads.
+
+A long-horizon health check of the whole stack: Poisson and bursty
+sources drive delivery traffic across a 3-edomain federation while
+pub/sub fan-out runs concurrently; the federation monitor verifies zero
+drops, full delivery, and a high steady-state fast-path fraction.
+"""
+
+import pytest
+
+from repro import WellKnownService
+from repro.core.monitoring import FederationMonitor
+from repro.netsim.workloads import OnOffSource, PoissonSource
+from repro.scenarios import metro_federation
+from repro.services.multipoint import join_group, publish, register_sender
+
+
+class TestSoak:
+    def test_mixed_workload_soak(self):
+        handles = metro_federation(
+            n_edomains=3, sns_per_edomain=2, hosts_per_sn=1
+        )
+        net = handles.net
+        hosts = handles.hosts
+        sim = net.sim
+
+        # Point-to-point flows under Poisson + on-off load.
+        pairs = [(hosts[0], hosts[3]), (hosts[1], hosts[4]), (hosts[2], hosts[5])]
+        sent_counts = []
+        for i, (src, dst) in enumerate(pairs):
+            conn = src.connect(
+                WellKnownService.IP_DELIVERY,
+                dest_addr=dst.address,
+                allow_direct=False,
+            )
+            sent = [0]
+
+            def make_sink(src=src, conn=conn, sent=sent):
+                def sink(seq, size):
+                    src.send(conn, b"s" * min(size, 1000))
+                    sent[0] += 1
+
+                return sink
+
+            if i % 2 == 0:
+                PoissonSource(sim, make_sink(), rate_pps=50, seed=i).start(
+                    duration=10.0
+                )
+            else:
+                OnOffSource(
+                    sim, make_sink(), rate_bps=400_000, packet_bytes=500, seed=i
+                ).start(duration=10.0)
+            sent_counts.append(sent)
+
+        # Concurrent pub/sub fan-out.
+        pub, subscriber = hosts[0], hosts[-1]
+        net.lookup.register_group("pubsub:soak", pub.keypair)
+        net.lookup.post_open_group("pubsub:soak", pub.keypair)
+        join_group(subscriber, WellKnownService.PUBSUB, "soak")
+        register_sender(pub, WellKnownService.PUBSUB, "soak")
+        net.run(0.5)
+        for i in range(20):
+            publish(pub, WellKnownService.PUBSUB, "soak", f"tick-{i}".encode())
+
+        net.run(15.0)
+
+        # Everything sent was delivered, nothing dropped anywhere.
+        monitor = FederationMonitor(net)
+        report = monitor.collect()
+        assert report.total_drops == 0
+        for (src, dst), sent in zip(pairs, sent_counts):
+            delivered = sum(
+                1 for _, p in dst.delivered if p.data and p.data[0:1] == b"s"
+            )
+            assert delivered == sent[0]
+        pubsub_got = [
+            p.data for _, p in subscriber.delivered if p.data.startswith(b"tick-")
+        ]
+        assert len(pubsub_got) == 20
+        # Steady state is overwhelmingly fast path (delivery flows cache).
+        assert report.overall_fast_path_fraction > 0.75
+
+    def test_soak_is_deterministic(self):
+        """Same seeds, same virtual timeline — byte-identical outcomes."""
+
+        def run() -> tuple[int, float]:
+            handles = metro_federation(
+                n_edomains=2, sns_per_edomain=1, hosts_per_sn=1
+            )
+            net = handles.net
+            src, dst = handles.hosts
+            conn = src.connect(
+                WellKnownService.IP_DELIVERY,
+                dest_addr=dst.address,
+                allow_direct=False,
+            )
+            source = PoissonSource(
+                net.sim,
+                lambda seq, size: src.send(conn, b"d"),
+                rate_pps=100,
+                seed=99,
+            )
+            source.start(duration=5.0)
+            net.run(10.0)
+            return len(dst.delivered), net.sim.now
+
+        assert run() == run()

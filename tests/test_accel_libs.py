@@ -1,0 +1,76 @@
+"""Tests for accelerated library variants and the WORA swap (§3.1)."""
+
+import pytest
+
+from repro import WellKnownService
+from repro.libs.accel import (
+    AcceleratedCryptoLibrary,
+    AcceleratedMediaLibrary,
+    AcceleratorProfile,
+    install_accelerated_libraries,
+)
+from repro.libs.media import MediaLibrary
+from repro.services.transcode import set_rendition
+
+
+class TestAcceleratedLibraries:
+    def test_crypto_results_identical_to_software(self):
+        accel = AcceleratedCryptoLibrary()
+        key = accel.random_key()
+        blob = accel.encrypt(key, b"same bits out")
+        assert accel.decrypt(key, blob) == b"same bits out"
+
+    def test_crypto_virtual_cost_scales_with_speedup(self):
+        slow = AcceleratedCryptoLibrary(AcceleratorProfile("x", crypto_speedup=1.0))
+        fast = AcceleratedCryptoLibrary(AcceleratorProfile("y", crypto_speedup=10.0))
+        key = slow.random_key()
+        data = b"z" * 10_000
+        slow.encrypt(key, data)
+        fast.encrypt(key, data)
+        assert slow.virtual_seconds == pytest.approx(10 * fast.virtual_seconds)
+
+    def test_media_output_identical_to_software(self):
+        accel = AcceleratedMediaLibrary()
+        soft = MediaLibrary()
+        chunk = bytes(500)
+        assert accel.transcode(chunk, "480p") == soft.transcode(chunk, "480p")
+        assert accel.virtual_seconds > 0
+
+    def test_cannot_be_slower_than_software(self):
+        with pytest.raises(ValueError):
+            AcceleratorProfile("broken", crypto_speedup=0.5)
+
+
+class TestWORASwap:
+    def test_service_unchanged_after_library_swap(self, two_edomain_net):
+        """§3.1: the same module runs on accelerated SNs untouched."""
+        net = two_edomain_net
+        dom = net.edomains["east"]
+        viewer_sn = dom.sns[dom.sn_addresses()[0]]
+        # Operator installs accelerators on this SN only.
+        install_accelerated_libraries(viewer_sn.env)
+        assert isinstance(
+            viewer_sn.env.libs.get("media"), AcceleratedMediaLibrary
+        )
+
+        # The transcode bundle module (already loaded, never modified)
+        # transparently uses the new implementation.
+        wdom = net.edomains["west"]
+        source = net.add_host(wdom.sns[wdom.sn_addresses()[0]], name="cam")
+        viewer = net.add_host(viewer_sn, name="viewer")
+        set_rendition(viewer, "480p")
+        net.run(0.5)
+        conn = source.connect(
+            WellKnownService.TRANSCODE_BUNDLE,
+            dest_addr=viewer.address,
+            allow_direct=False,
+        )
+        source.send(conn, bytes(800))
+        net.run(1.0)
+        got = [p.data for _, p in viewer.delivered if p.data]
+        assert len(got) == 1
+        profile, original, _ = MediaLibrary.describe(got[0])
+        assert (profile, original) == ("480p", 800)
+        # The accelerated implementation did the work.
+        assert viewer_sn.env.libs.get("media").chunks_encoded == 1
+        assert viewer_sn.env.libs.get("media").virtual_seconds > 0

@@ -1,0 +1,278 @@
+"""Unit tests for the control plane: core store, lookup, membership, naming."""
+
+import pytest
+
+from repro.control.core_store import CoreStore
+from repro.control.lookup import GlobalLookupService, LookupError_
+from repro.control.membership import (
+    EdomainMembershipCore,
+    SNMembershipAgent,
+    make_join_grant,
+)
+from repro.control.naming import NameService, NamingError
+from repro.core.crypto import KeyPair
+
+
+class TestCoreStore:
+    def test_set_membership(self):
+        store = CoreStore()
+        assert store.add("g/members", "sn1") is True
+        assert store.add("g/members", "sn1") is False
+        assert store.members("g/members") == {"sn1"}
+        assert store.remove("g/members", "sn1") is True
+        assert store.remove("g/members", "sn1") is False
+
+    def test_scalar_values(self):
+        store = CoreStore()
+        store.put("config/x", 42)
+        assert store.get("config/x") == 42
+        assert store.get("missing", "default") == "default"
+
+    def test_watch_notifies(self):
+        store = CoreStore()
+        events = []
+        store.watch("k", lambda key, op, value: events.append((op, value)))
+        store.add("k", "a")
+        store.remove("k", "a")
+        store.put("k", 1)
+        assert events == [("add", "a"), ("remove", "a"), ("set", 1)]
+
+    def test_unwatch(self):
+        store = CoreStore()
+        events = []
+        token = store.watch("k", lambda *args: events.append(args))
+        assert store.unwatch("k", token) is True
+        assert store.unwatch("k", token) is False
+        store.add("k", "a")
+        assert events == []
+
+    def test_keys_prefix(self):
+        store = CoreStore()
+        store.add("groups/a/members", "x")
+        store.add("groups/b/members", "x")
+        store.put("other", 1)
+        assert store.keys("groups/") == ["groups/a/members", "groups/b/members"]
+
+    def test_wal_recovery(self):
+        store = CoreStore("dom")
+        store.add("g", "a")
+        store.add("g", "b")
+        store.remove("g", "a")
+        store.put("v", 9)
+        rebuilt = store.rebuild_from_wal()
+        assert rebuilt.members("g") == {"b"}
+        assert rebuilt.get("v") == 9
+
+
+class TestLookup:
+    def test_address_records(self):
+        lookup = GlobalLookupService()
+        owner = KeyPair.generate()
+        lookup.register_address("1.2.3.4", owner, associated_sns=["10.0.0.1"])
+        record = lookup.address_record("1.2.3.4")
+        assert record.owner_public == owner.public
+        assert record.associated_sns == ["10.0.0.1"]
+        assert lookup.address_record("9.9.9.9") is None
+
+    def test_open_group_statement_verifies(self):
+        lookup = GlobalLookupService()
+        owner = KeyPair.generate()
+        lookup.register_group("g", owner)
+        lookup.post_open_group("g", owner)
+        assert lookup.open_group_statement("g") is not None
+        assert lookup.open_group_statement("other") is None
+
+    def test_post_open_group_requires_ownership(self):
+        lookup = GlobalLookupService()
+        owner, imposter = KeyPair.generate(), KeyPair.generate()
+        lookup.register_group("g", owner)
+        with pytest.raises(LookupError_):
+            lookup.post_open_group("g", imposter)
+
+    def test_validate_join_open_group(self):
+        lookup = GlobalLookupService()
+        owner = KeyPair.generate()
+        lookup.register_group("g", owner)
+        lookup.post_open_group("g", owner)
+        assert lookup.validate_join("g", b"anyone", b"")
+
+    def test_validate_join_with_grant(self):
+        lookup = GlobalLookupService()
+        owner, member = KeyPair.generate(), KeyPair.generate()
+        lookup.register_group("g", owner)
+        grant = make_join_grant(owner, "g", member.public)
+        assert lookup.validate_join("g", member.public, grant)
+        assert not lookup.validate_join("g", member.public, b"forged")
+        assert not lookup.validate_join("g", KeyPair.generate().public, grant)
+
+    def test_join_unknown_group_denied(self):
+        assert not GlobalLookupService().validate_join("ghost", b"x", b"")
+
+    def test_group_edomain_tracking_and_watch(self):
+        lookup = GlobalLookupService()
+        events = []
+        lookup.watch_group("g", lambda g, op, e: events.append((op, e)))
+        assert lookup.add_group_edomain("g", "west") is True
+        assert lookup.add_group_edomain("g", "west") is False
+        assert lookup.group_edomains("g") == {"west"}
+        lookup.remove_group_edomain("g", "west")
+        assert events == [("add", "west"), ("remove", "west")]
+
+    def test_service_directory(self):
+        lookup = GlobalLookupService()
+        lookup.register_service_node("msgqueue", "10.0.0.1")
+        lookup.register_service_node("msgqueue", "10.0.0.2")
+        assert lookup.service_nodes("msgqueue") == {"10.0.0.1", "10.0.0.2"}
+        lookup.deregister_service_node("msgqueue", "10.0.0.1")
+        assert lookup.service_nodes("msgqueue") == {"10.0.0.2"}
+
+
+def _world():
+    """Two edomains, two SNs each, open group 'g'."""
+    lookup = GlobalLookupService()
+    owner = KeyPair.generate()
+    lookup.register_group("g", owner)
+    lookup.post_open_group("g", owner)
+    cores = {
+        name: EdomainMembershipCore(name, CoreStore(name), lookup)
+        for name in ("west", "east")
+    }
+    agents = {
+        "w0": SNMembershipAgent("10.0.0.1", cores["west"], lookup),
+        "w1": SNMembershipAgent("10.0.0.2", cores["west"], lookup),
+        "e0": SNMembershipAgent("10.0.1.1", cores["east"], lookup),
+    }
+    for host in ("192.168.0.1", "192.168.0.2", "192.168.1.1"):
+        lookup.register_address(host, KeyPair.generate())
+    return lookup, cores, agents
+
+
+class TestMembershipProtocol:
+    def test_join_propagates_sn_core_lookup(self):
+        lookup, cores, agents = _world()
+        assert agents["w0"].join("g", "192.168.0.1")
+        # SN knows its host's membership (§6.2 knowledge requirements).
+        assert agents["w0"].is_member("g", "192.168.0.1")
+        assert agents["w0"].host_groups("192.168.0.1") == {"g"}
+        # Core knows which SNs have members.
+        assert cores["west"].member_sns("g") == {"10.0.0.1"}
+        # Lookup knows which edomains have members.
+        assert lookup.group_edomains("g") == {"west"}
+
+    def test_second_join_same_sn_no_duplicate_propagation(self):
+        lookup, cores, agents = _world()
+        agents["w0"].join("g", "192.168.0.1")
+        updates_before = lookup.updates
+        agents["w0"].join("g", "192.168.0.2")
+        assert lookup.updates == updates_before  # edomain already registered
+
+    def test_leave_unwinds_state(self):
+        lookup, cores, agents = _world()
+        agents["w0"].join("g", "192.168.0.1")
+        assert agents["w0"].leave("g", "192.168.0.1")
+        assert cores["west"].member_sns("g") == set()
+        assert lookup.group_edomains("g") == set()
+
+    def test_leave_not_member(self):
+        _, _, agents = _world()
+        assert agents["w0"].leave("g", "192.168.0.1") is False
+
+    def test_unauthorized_join_rejected(self):
+        lookup, cores, agents = _world()
+        owner = KeyPair.generate()
+        lookup.register_group("closed", owner)  # not open, no grant
+        assert not agents["w0"].join("closed", "192.168.0.1")
+        assert agents["w0"].joins_rejected == 1
+
+    def test_grant_join_closed_group(self):
+        lookup, cores, agents = _world()
+        owner = KeyPair.generate()
+        lookup.register_group("closed", owner)
+        member_key = lookup.address_record("192.168.0.1").owner_public
+        grant = make_join_grant(owner, "closed", member_key)
+        assert agents["w0"].join("closed", "192.168.0.1", grant)
+
+    def test_sender_view_tracks_member_sns_live(self):
+        lookup, cores, agents = _world()
+        agents["w1"].join("g", "192.168.0.2")
+        view = agents["w0"].register_sender("g", "192.168.0.1")
+        assert view.local_member_sns == {"10.0.0.2"}
+        # A later join updates the watching sender's view.
+        agents["w0"].join("g", "192.168.0.1")
+        assert agents["w0"].member_sns_in_edomain("g") == {"10.0.0.1", "10.0.0.2"}
+
+    def test_sender_learns_remote_edomains_live(self):
+        lookup, cores, agents = _world()
+        agents["w0"].register_sender("g", "192.168.0.1")
+        assert agents["w0"].member_edomains("g") == set()
+        agents["e0"].join("g", "192.168.1.1")
+        assert agents["w0"].member_edomains("g") == {"east"}
+        agents["e0"].leave("g", "192.168.1.1")
+        assert agents["w0"].member_edomains("g") == set()
+
+    def test_own_edomain_excluded_from_remote_view(self):
+        lookup, cores, agents = _world()
+        agents["w1"].join("g", "192.168.0.2")
+        agents["w0"].register_sender("g", "192.168.0.1")
+        assert agents["w0"].member_edomains("g") == set()
+
+    def test_sender_registration_required_flag(self):
+        _, _, agents = _world()
+        assert not agents["w0"].is_sender("g", "192.168.0.1")
+        agents["w0"].register_sender("g", "192.168.0.1")
+        assert agents["w0"].is_sender("g", "192.168.0.1")
+        agents["w0"].unregister_sender("g", "192.168.0.1")
+        assert not agents["w0"].is_sender("g", "192.168.0.1")
+
+    def test_state_sizes_reported(self):
+        lookup, cores, agents = _world()
+        agents["w0"].join("g", "192.168.0.1")
+        agents["w0"].register_sender("g", "192.168.0.1")
+        assert agents["w0"].state_size()["groups_with_local_members"] == 1
+        assert cores["west"].state_size()["member_entries"] == 1
+        assert lookup.state_size()["group_edomain_entries"] == 1
+
+
+class TestNaming:
+    def test_resolve_registered_name(self):
+        lookup = GlobalLookupService()
+        owner = KeyPair.generate()
+        lookup.register_address("1.2.3.4", owner, associated_sns=["10.0.0.1"])
+        names = NameService(lookup)
+        names.register_name("origin.example", "1.2.3.4")
+        res = names.resolve("origin.example")
+        assert res.address == "1.2.3.4"
+        assert res.primary_sn == "10.0.0.1"
+
+    def test_resolve_raw_address(self):
+        lookup = GlobalLookupService()
+        lookup.register_address("1.2.3.4", KeyPair.generate(), associated_sns=["10.0.0.1"])
+        names = NameService(lookup)
+        assert names.resolve("1.2.3.4").address == "1.2.3.4"
+
+    def test_unknown_name_raises(self):
+        names = NameService(GlobalLookupService())
+        with pytest.raises(NamingError):
+            names.resolve("nope")
+
+    def test_no_record_raises(self):
+        names = NameService(GlobalLookupService())
+        names.register_name("x", "9.9.9.9")
+        with pytest.raises(NamingError):
+            names.resolve("x")
+
+    def test_no_associated_sn(self):
+        lookup = GlobalLookupService()
+        lookup.register_address("1.2.3.4", KeyPair.generate())
+        names = NameService(lookup)
+        res = names.resolve("1.2.3.4")
+        with pytest.raises(NamingError):
+            _ = res.primary_sn
+
+    def test_deregister(self):
+        lookup = GlobalLookupService()
+        lookup.register_address("1.2.3.4", KeyPair.generate(), associated_sns=["s"])
+        names = NameService(lookup)
+        names.register_name("x", "1.2.3.4")
+        assert names.deregister_name("x") is True
+        assert names.deregister_name("x") is False

@@ -1,0 +1,192 @@
+"""Unit tests for the crypto primitives and PSP contexts."""
+
+import pytest
+
+from repro.core import crypto
+from repro.core.psp import PSPContext, PSPError, PeerKeyStore, pairwise_secret
+
+
+class TestSealOpen:
+    def test_roundtrip(self):
+        key = crypto.random_key()
+        nonce = crypto.NonceGenerator().next()
+        sealed = crypto.seal(key, nonce, b"hello world")
+        assert crypto.open_sealed(key, nonce, sealed) == b"hello world"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        key = crypto.random_key()
+        nonce = crypto.NonceGenerator().next()
+        sealed = crypto.seal(key, nonce, b"secret header bytes")
+        assert b"secret header bytes" not in sealed
+
+    def test_tamper_detected(self):
+        key = crypto.random_key()
+        nonce = crypto.NonceGenerator().next()
+        sealed = bytearray(crypto.seal(key, nonce, b"payload"))
+        sealed[0] ^= 0xFF
+        with pytest.raises(crypto.CryptoError):
+            crypto.open_sealed(key, nonce, bytes(sealed))
+
+    def test_wrong_key_rejected(self):
+        nonce = crypto.NonceGenerator().next()
+        sealed = crypto.seal(crypto.random_key(), nonce, b"x")
+        with pytest.raises(crypto.CryptoError):
+            crypto.open_sealed(crypto.random_key(), nonce, sealed)
+
+    def test_wrong_nonce_rejected(self):
+        key = crypto.random_key()
+        gen = crypto.NonceGenerator()
+        sealed = crypto.seal(key, gen.next(), b"x")
+        with pytest.raises(crypto.CryptoError):
+            crypto.open_sealed(key, gen.next(), sealed)
+
+    def test_aad_binding(self):
+        key = crypto.random_key()
+        nonce = crypto.NonceGenerator().next()
+        sealed = crypto.seal(key, nonce, b"x", aad=b"ctx-1")
+        with pytest.raises(crypto.CryptoError):
+            crypto.open_sealed(key, nonce, sealed, aad=b"ctx-2")
+
+    def test_empty_plaintext(self):
+        key = crypto.random_key()
+        nonce = crypto.NonceGenerator().next()
+        assert crypto.open_sealed(key, nonce, crypto.seal(key, nonce, b"")) == b""
+
+
+class TestDerivation:
+    def test_deterministic(self):
+        master = crypto.random_key()
+        assert crypto.derive_key(master, "a") == crypto.derive_key(master, "a")
+
+    def test_label_separation(self):
+        master = crypto.random_key()
+        assert crypto.derive_key(master, "a") != crypto.derive_key(master, "b")
+
+    def test_context_separation(self):
+        master = crypto.random_key()
+        assert crypto.derive_key(master, "a", b"1") != crypto.derive_key(
+            master, "a", b"2"
+        )
+
+    def test_short_master_rejected(self):
+        with pytest.raises(crypto.CryptoError):
+            crypto.derive_key(b"short", "a")
+
+
+class TestKeyPairRegistry:
+    def test_sign_verify_via_registry(self):
+        registry = crypto.SignatureRegistry()
+        kp = crypto.KeyPair.generate()
+        registry.register(kp)
+        sig = kp.sign(b"msg")
+        assert registry.verify(kp.public, b"msg", sig)
+        assert not registry.verify(kp.public, b"other", sig)
+
+    def test_unknown_public_fails(self):
+        registry = crypto.SignatureRegistry()
+        kp = crypto.KeyPair.generate()
+        assert not registry.verify(kp.public, b"m", kp.sign(b"m"))
+
+
+class TestNonceGenerator:
+    def test_monotonic_unique(self):
+        gen = crypto.NonceGenerator()
+        nonces = {gen.next() for _ in range(1000)}
+        assert len(nonces) == 1000
+
+
+class TestPSPContext:
+    def _pair(self):
+        secret = pairwise_secret("10.0.0.1", "10.0.0.2")
+        return PSPContext(secret), PSPContext(secret)
+
+    def test_seal_open_between_peers(self):
+        a, b = self._pair()
+        blob = a.seal(b"ilp header")
+        assert b.open(blob) == b"ilp header"
+
+    def test_out_of_order_packets_decrypt(self):
+        """PSP's per-packet independence: arrival order is irrelevant."""
+        a, b = self._pair()
+        blobs = [a.seal(f"pkt{i}".encode()) for i in range(5)]
+        for i in (4, 0, 2, 1, 3):
+            assert b.open(blobs[i]) == f"pkt{i}".encode()
+
+    def test_rotation_keeps_old_epoch_valid(self):
+        a, b = self._pair()
+        old = a.seal(b"before rekey")
+        a.rotate()
+        new = a.seal(b"after rekey")
+        # Receiver has not rotated yet; both must decrypt.
+        assert b.open(new) == b"after rekey"
+        assert b.open(old) == b"before rekey"
+
+    def test_receiver_derives_one_epoch_ahead(self):
+        a, b = self._pair()
+        a.rotate()
+        assert b.open(a.seal(b"x")) == b"x"
+        assert b.stats.packets_opened == 1
+
+    def test_far_future_epoch_rejected(self):
+        a, b = self._pair()
+        for _ in range(3):
+            a.rotate()
+        with pytest.raises(PSPError):
+            b.open(a.seal(b"x"))
+
+    def test_tampered_blob_rejected_and_counted(self):
+        a, b = self._pair()
+        blob = bytearray(a.seal(b"x"))
+        blob[-1] ^= 0x01
+        with pytest.raises(PSPError):
+            b.open(bytes(blob))
+        assert b.stats.auth_failures == 1
+
+    def test_wrong_pair_secret_fails(self):
+        a = PSPContext(pairwise_secret("10.0.0.1", "10.0.0.2"))
+        c = PSPContext(pairwise_secret("10.0.0.1", "10.0.0.3"))
+        with pytest.raises(PSPError):
+            c.open(a.seal(b"x"))
+
+    def test_overhead_is_constant(self):
+        a, _ = self._pair()
+        small = a.seal(b"x")
+        large = a.seal(b"x" * 500)
+        assert len(small) == PSPContext.overhead() + 1
+        assert (len(large) - len(small)) == 499
+
+    def test_epoch_wraps_mod_256(self):
+        secret = pairwise_secret("a.example", "b.example", realm=b"test")
+        ctx = PSPContext(secret, epoch=255)
+        assert ctx.rotate() == 0
+
+
+class TestPairwiseSecret:
+    def test_symmetric(self):
+        assert pairwise_secret("10.0.0.1", "10.0.0.2") == pairwise_secret(
+            "10.0.0.2", "10.0.0.1"
+        )
+
+    def test_pair_separation(self):
+        assert pairwise_secret("10.0.0.1", "10.0.0.2") != pairwise_secret(
+            "10.0.0.1", "10.0.0.3"
+        )
+
+
+class TestPeerKeyStore:
+    def test_establish_and_get(self):
+        store = PeerKeyStore()
+        ctx = store.establish("10.0.0.9", crypto.random_key())
+        assert store.get("10.0.0.9") is ctx
+        assert store.has("10.0.0.9")
+        assert len(store) == 1
+
+    def test_missing_peer_raises(self):
+        with pytest.raises(PSPError):
+            PeerKeyStore().get("10.9.9.9")
+
+    def test_remove(self):
+        store = PeerKeyStore()
+        store.establish("10.0.0.9", crypto.random_key())
+        store.remove("10.0.0.9")
+        assert not store.has("10.0.0.9")

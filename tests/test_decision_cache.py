@@ -1,0 +1,155 @@
+"""Unit tests for the decision cache (Appendix B semantics)."""
+
+import pytest
+
+from repro.core.decision_cache import (
+    Action,
+    CacheError,
+    CacheKey,
+    Decision,
+    DecisionCache,
+    EvictionPolicy,
+    ForwardTarget,
+)
+
+
+def key(i: int) -> CacheKey:
+    return CacheKey(src=f"10.0.0.{i % 250 + 1}", service_id=1, connection_id=i)
+
+
+class TestDecision:
+    def test_forward_requires_targets(self):
+        with pytest.raises(CacheError):
+            Decision(action=Action.FORWARD)
+
+    def test_drop_cannot_have_targets(self):
+        with pytest.raises(CacheError):
+            Decision(action=Action.DROP, targets=(ForwardTarget("10.0.0.1"),))
+
+    def test_multi_target_forward(self):
+        decision = Decision.forward("10.0.0.1", "10.0.0.2", "10.0.0.3")
+        assert len(decision.targets) == 3
+
+
+class TestLookupInstall:
+    def test_miss_then_hit(self):
+        cache = DecisionCache(capacity=8)
+        assert cache.lookup(key(1)) is None
+        cache.install(key(1), Decision.forward("10.0.0.2"))
+        result = cache.lookup(key(1))
+        assert result is not None
+        assert result.targets[0].peer == "10.0.0.2"
+
+    def test_keys_are_exact_match(self):
+        cache = DecisionCache()
+        cache.install(key(1), Decision.drop())
+        other = CacheKey(src=key(1).src, service_id=2, connection_id=1)
+        assert cache.lookup(other) is None
+
+    def test_reinstall_replaces(self):
+        cache = DecisionCache()
+        cache.install(key(1), Decision.forward("10.0.0.2"))
+        cache.install(key(1), Decision.drop())
+        assert cache.lookup(key(1)).action is Action.DROP
+        assert len(cache) == 1
+
+    def test_stats(self):
+        cache = DecisionCache()
+        cache.lookup(key(1))
+        cache.install(key(1), Decision.drop())
+        cache.lookup(key(1))
+        assert cache.stats.lookups == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestCapacityEviction:
+    def test_capacity_bound_holds(self):
+        cache = DecisionCache(capacity=16)
+        for i in range(100):
+            cache.install(key(i), Decision.drop())
+        assert len(cache) == 16
+        assert cache.stats.evictions == 84
+
+    def test_lru_evicts_least_recent(self):
+        cache = DecisionCache(capacity=2, policy=EvictionPolicy.LRU)
+        cache.install(key(1), Decision.drop())
+        cache.install(key(2), Decision.drop())
+        cache.lookup(key(1))  # touch 1 -> 2 is now LRU
+        cache.install(key(3), Decision.drop())
+        assert key(1) in cache
+        assert key(2) not in cache
+
+    def test_fifo_evicts_oldest(self):
+        cache = DecisionCache(capacity=2, policy=EvictionPolicy.FIFO)
+        cache.install(key(1), Decision.drop())
+        cache.install(key(2), Decision.drop())
+        cache.lookup(key(1))  # FIFO ignores recency
+        cache.install(key(3), Decision.drop())
+        assert key(1) not in cache
+
+    def test_random_policy_respects_capacity(self):
+        cache = DecisionCache(capacity=8, policy=EvictionPolicy.RANDOM)
+        for i in range(50):
+            cache.install(key(i), Decision.drop())
+        assert len(cache) == 8
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CacheError):
+            DecisionCache(capacity=0)
+
+    def test_evict_random_fraction(self):
+        cache = DecisionCache(capacity=128)
+        for i in range(100):
+            cache.install(key(i), Decision.drop())
+        evicted = cache.evict_random_fraction(0.5)
+        assert evicted == 50
+        assert len(cache) == 50
+
+
+class TestInvalidation:
+    def test_invalidate_single(self):
+        cache = DecisionCache()
+        cache.install(key(1), Decision.drop())
+        assert cache.invalidate(key(1)) is True
+        assert cache.invalidate(key(1)) is False
+        assert cache.lookup(key(1)) is None
+
+    def test_invalidate_connection_all_sources(self):
+        cache = DecisionCache()
+        for src in ("10.0.0.1", "10.0.0.2", "10.0.0.3"):
+            cache.install(
+                CacheKey(src=src, service_id=1, connection_id=77), Decision.drop()
+            )
+        cache.install(CacheKey(src="10.0.0.1", service_id=1, connection_id=78), Decision.drop())
+        removed = cache.invalidate_connection(1, 77)
+        assert removed == 3
+        assert len(cache) == 1
+
+
+class TestActivityAPI:
+    """The §B.2 hit-count / recently-used API."""
+
+    def test_hit_count_increments(self):
+        cache = DecisionCache()
+        cache.install(key(1), Decision.drop())
+        assert cache.hit_count(key(1)) == 0
+        cache.lookup(key(1))
+        cache.lookup(key(1))
+        assert cache.hit_count(key(1)) == 2
+
+    def test_hit_count_missing_entry(self):
+        assert DecisionCache().hit_count(key(9)) is None
+
+    def test_recently_used_window(self):
+        cache = DecisionCache()
+        cache.install(key(1), Decision.drop(), now=0.0)
+        cache.lookup(key(1), now=10.0)
+        assert cache.recently_used(key(1), now=12.0, window=5.0)
+        assert not cache.recently_used(key(1), now=20.0, window=5.0)
+
+    def test_recently_used_never_hit(self):
+        cache = DecisionCache()
+        cache.install(key(1), Decision.drop(), now=0.0)
+        assert not cache.recently_used(key(1), now=0.0, window=100.0)

@@ -1,0 +1,216 @@
+"""Unit tests for the economics layer (§5): rates, neutrality, peering, brokers."""
+
+import pytest
+
+from repro.econ import (
+    BillingEngine,
+    BrokerError,
+    CoverageBroker,
+    IESPOffer,
+    Invoice,
+    NeutralityAuditor,
+    PeeringError,
+    PeeringLedger,
+    RateCard,
+    RateError,
+    ServiceDecision,
+    ServiceRate,
+    VolumeTier,
+)
+
+
+def simple_card(iesp="acme", base=10.0, price=1.0, region_mult=None) -> RateCard:
+    card = RateCard(iesp)
+    card.set_rate(
+        ServiceRate(
+            service_id=3,
+            base_monthly=base,
+            tiers=[VolumeTier(0.0, price), VolumeTier(100.0, price / 2)],
+            region_multipliers=region_mult or {},
+        )
+    )
+    card.publish()
+    return card
+
+
+class TestRateCard:
+    def test_tiered_pricing_marginal(self):
+        card = simple_card()
+        # 150 GB: 100 @ 1.0 + 50 @ 0.5 + base 10
+        assert card.price(3, "anywhere", 150.0) == pytest.approx(135.0)
+
+    def test_price_within_first_tier(self):
+        assert simple_card().price(3, "r", 50.0) == pytest.approx(60.0)
+
+    def test_zero_volume_is_base(self):
+        assert simple_card().price(3, "r", 0.0) == pytest.approx(10.0)
+
+    def test_region_multiplier(self):
+        card = simple_card(region_mult={"remote-island": 2.0})
+        assert card.price(3, "remote-island", 10.0) == pytest.approx(40.0)
+        assert card.price(3, "mainland", 10.0) == pytest.approx(20.0)
+
+    def test_customer_not_an_input(self):
+        """Neutrality by construction: the API has no customer parameter."""
+        card = simple_card()
+        import inspect
+
+        assert "customer" not in inspect.signature(card.price).parameters
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(RateError):
+            simple_card().price(3, "r", -1.0)
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(RateError):
+            simple_card().price(99, "r", 1.0)
+
+    def test_tiers_must_start_at_zero_ascending(self):
+        with pytest.raises(RateError):
+            ServiceRate(service_id=1, base_monthly=0, tiers=[VolumeTier(5.0, 1.0)])
+        with pytest.raises(RateError):
+            ServiceRate(
+                service_id=1,
+                base_monthly=0,
+                tiers=[VolumeTier(100.0, 1.0), VolumeTier(0.0, 0.5)],
+            )
+
+    def test_publish_empty_rejected(self):
+        with pytest.raises(RateError):
+            RateCard("x").publish()
+
+    def test_billing_requires_publication(self):
+        card = RateCard("x")
+        card.set_rate(ServiceRate(service_id=1, base_monthly=0, tiers=[VolumeTier(0, 1)]))
+        engine = BillingEngine(card)
+        with pytest.raises(RateError):
+            engine.bill("cust", 1, "r", 1.0)
+
+
+class TestNeutralityAuditor:
+    def test_clean_invoices_pass(self):
+        card = simple_card()
+        engine = BillingEngine(card)
+        engine.bill("alice", 3, "r", 50.0)
+        engine.bill("bob", 3, "r", 50.0)
+        assert NeutralityAuditor(card).audit(engine.invoices) == []
+
+    def test_off_card_price_flagged(self):
+        card = simple_card()
+        invoices = [Invoice("alice", 3, "r", 50.0, amount=999.0)]
+        violations = NeutralityAuditor(card).audit_invoices(invoices)
+        assert any(v.kind == "off-card-price" for v in violations)
+
+    def test_discrimination_between_customers_flagged(self):
+        card = simple_card()
+        invoices = [
+            Invoice("alice", 3, "r", 50.0, amount=60.0),
+            Invoice("bigco", 3, "r", 50.0, amount=45.0),  # sweetheart deal
+        ]
+        violations = NeutralityAuditor(card).audit_invoices(invoices)
+        assert any(v.kind == "price-discrimination" for v in violations)
+
+    def test_volume_differences_are_legitimate(self):
+        card = simple_card()
+        engine = BillingEngine(card)
+        engine.bill("small", 3, "r", 10.0)
+        engine.bill("large", 3, "r", 500.0)
+        assert NeutralityAuditor(card).audit(engine.invoices) == []
+
+    def test_selective_denial_flagged(self):
+        card = simple_card()
+        decisions = [
+            ServiceDecision("alice", 3, "r", accepted=True),
+            ServiceDecision("mallory-competitor", 3, "r", accepted=False, reason="no"),
+        ]
+        violations = NeutralityAuditor(card).audit_decisions(decisions)
+        assert len(violations) == 1
+        assert violations[0].kind == "service-denial"
+
+    def test_uniform_unavailability_not_flagged(self):
+        card = simple_card()
+        decisions = [
+            ServiceDecision("alice", 3, "nowhere", accepted=False, reason="no PoP"),
+            ServiceDecision("bob", 3, "nowhere", accepted=False, reason="no PoP"),
+        ]
+        assert NeutralityAuditor(card).audit_decisions(decisions) == []
+
+
+class TestPeeringLedger:
+    def test_traffic_recorded(self):
+        ledger = PeeringLedger()
+        ledger.record_traffic("west", "east", 1500, 1)
+        ledger.record_traffic("west", "east", 1500, 1)
+        assert ledger.traffic("west", "east").bytes_sent == 3000
+        assert ledger.traffic("east", "west").bytes_sent == 0
+
+    def test_imbalance_is_informational(self):
+        ledger = PeeringLedger()
+        ledger.record_traffic("west", "east", 10_000)
+        ledger.record_traffic("east", "west", 1_000)
+        assert ledger.imbalance("west", "east") == 9_000
+        # ...and still, no settlement is possible:
+        with pytest.raises(PeeringError):
+            ledger.post_settlement("east", "west", 5.0)
+
+    def test_settlement_always_rejected(self):
+        ledger = PeeringLedger()
+        with pytest.raises(PeeringError):
+            ledger.post_settlement("a", "b", 0.01)
+        assert ledger.interdomain_balance() == 0.0
+        assert len(ledger.settlement_attempts) == 1
+
+    def test_customer_payments_allowed(self):
+        ledger = PeeringLedger()
+        ledger.pay_iesp("enterprise-x", "acme", 100.0)
+        ledger.pay_iesp("app-provider-y", "acme", 50.0)
+        assert ledger.edomain_revenue("acme") == 150.0
+
+    def test_negative_payment_rejected(self):
+        with pytest.raises(PeeringError):
+            PeeringLedger().pay_iesp("c", "i", -1.0)
+
+
+class TestBroker:
+    def _offers(self):
+        cheap_west = simple_card("cheap-west", base=5.0, price=0.5)
+        cheap_east = simple_card("cheap-east", base=6.0, price=0.6)
+        global_card = simple_card("globalcorp", base=20.0, price=1.0)
+        return [
+            IESPOffer("cheap-west", cheap_west, {"us-west"}),
+            IESPOffer("cheap-east", cheap_east, {"us-east"}),
+            IESPOffer("globalcorp", global_card, {"us-west", "us-east", "eu"}),
+        ]
+
+    def test_plan_picks_cheapest_per_region(self):
+        broker = CoverageBroker(self._offers())
+        plan = broker.plan(3, ["us-west", "us-east"], volume_gb_per_region=10.0)
+        assert plan.assignments == {
+            "us-west": "cheap-west",
+            "us-east": "cheap-east",
+        }
+        assert plan.iesps_used == {"cheap-west", "cheap-east"}
+
+    def test_uncoverable_region_raises(self):
+        broker = CoverageBroker(self._offers())
+        with pytest.raises(BrokerError):
+            broker.plan(3, ["antarctica"], 1.0)
+
+    def test_global_fallback_when_only_option(self):
+        broker = CoverageBroker(self._offers())
+        plan = broker.plan(3, ["eu"], 10.0)
+        assert plan.assignments["eu"] == "globalcorp"
+
+    def test_stitched_beats_global(self):
+        """§5's thesis: small IESPs + a broker can undercut a global one."""
+        broker = CoverageBroker(self._offers())
+        plan, global_total = broker.compare_with_global(
+            3, ["us-west", "us-east"], 10.0, self._offers()[2]
+        )
+        assert plan.total_monthly < global_total
+
+    def test_unpublished_card_rejected(self):
+        card = RateCard("sneaky")
+        card.set_rate(ServiceRate(service_id=3, base_monthly=0, tiers=[VolumeTier(0, 1)]))
+        with pytest.raises(BrokerError):
+            IESPOffer("sneaky", card, {"r"})

@@ -1,0 +1,169 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.netsim import PeriodicTask, SimulationError, Simulator, Timer
+
+
+class TestSchedule:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+        assert sim.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            fired.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestRunControls:
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        processed = sim.run(max_events=10)
+        assert processed == 10
+
+    def test_run_returns_processed_count(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(i * 0.1, lambda: None)
+        assert sim.run() == 7
+        assert sim.events_processed == 7
+
+    def test_cancelled_event_not_run(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule(0.1, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestTimer:
+    def test_fires_once(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_restart_supersedes(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        timer.start(5.0)
+        sim.run()
+        assert fired == [5.0]
+
+    def test_stop_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.stop()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        fired = []
+        task = PeriodicTask(sim, 1.0, lambda: fired.append(sim.now))
+        task.start()
+        sim.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_stop_halts(self):
+        sim = Simulator()
+        fired = []
+        task = PeriodicTask(sim, 1.0, lambda: fired.append(sim.now))
+        task.start()
+        sim.run(until=2.5)
+        task.stop()
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            PeriodicTask(Simulator(), 0.0, lambda: None)
+
+    def test_initial_delay(self):
+        sim = Simulator()
+        fired = []
+        task = PeriodicTask(sim, 5.0, lambda: fired.append(sim.now))
+        task.start(initial_delay=1.0)
+        sim.run(until=7.0)
+        assert fired == [1.0, 6.0]

@@ -1,0 +1,123 @@
+"""Unit tests for the execution environment itself (WORA runtime)."""
+
+import pytest
+
+from repro.core.execution_env import ConfigStore, OffPathStorage
+from repro.core.ilp import Flags, ILPHeader
+from repro.core.service_module import ServiceError, ServiceModule, Verdict
+from repro.core.service_node import ServiceNode
+from repro.netsim import Simulator
+
+
+class _Probe(ServiceModule):
+    SERVICE_ID = 0x0AAA
+    NAME = "probe"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.attached = False
+        self.data_calls = 0
+        self.control_calls = 0
+
+    def on_attach(self) -> None:
+        self.attached = True
+
+    def handle_packet(self, header, packet) -> Verdict:
+        self.data_calls += 1
+        return Verdict.drop()
+
+    def handle_control(self, header, packet) -> Verdict:
+        self.control_calls += 1
+        return Verdict.drop()
+
+
+@pytest.fixture
+def env():
+    return ServiceNode(Simulator(), "sn", "10.0.0.1").env
+
+
+class TestLoading:
+    def test_attach_hook_runs_with_context(self, env):
+        module = _Probe()
+        env.load(module)
+        assert module.attached
+        assert module.ctx is not None
+        assert module.ctx.node_address == "10.0.0.1"
+        assert module.ctx.service_id == _Probe.SERVICE_ID
+
+    def test_double_load_rejected(self, env):
+        env.load(_Probe())
+        with pytest.raises(ServiceError):
+            env.load(_Probe())
+
+    def test_unload_allows_reload(self, env):
+        env.load(_Probe())
+        env.unload(_Probe.SERVICE_ID)
+        assert not env.has_service(_Probe.SERVICE_ID)
+        env.load(_Probe())  # no error
+
+    def test_service_lookup_errors(self, env):
+        with pytest.raises(ServiceError):
+            env.service(0x0AAA)
+
+    def test_loading_measures_into_tpm(self, env):
+        log_before = len(env.tpm.extend_log)
+        env.load(_Probe())
+        assert len(env.tpm.extend_log) == log_before + 1
+
+    def test_explicit_enclave_override(self, env):
+        env.load(_Probe(), use_enclave=True)
+        assert env.enclave_for(_Probe.SERVICE_ID) is not None
+
+
+class TestDispatch:
+    def test_data_vs_control_routing(self, env):
+        module = env.load(_Probe())
+        data_header = ILPHeader(service_id=_Probe.SERVICE_ID, connection_id=1)
+        ctrl_header = ILPHeader(
+            service_id=_Probe.SERVICE_ID, connection_id=1, flags=Flags.CONTROL
+        )
+        env.dispatch(data_header, None)
+        env.dispatch(ctrl_header, None)
+        assert module.data_calls == 1
+        assert module.control_calls == 1
+
+    def test_dispatch_unknown_service_raises(self, env):
+        with pytest.raises(ServiceError):
+            env.dispatch(ILPHeader(service_id=0x0BBB, connection_id=1), None)
+
+    def test_enclaved_dispatch_still_returns_verdict(self, env):
+        env.load(_Probe(), use_enclave=True)
+        header = ILPHeader(service_id=_Probe.SERVICE_ID, connection_id=1)
+        verdict = env.dispatch(header, None)
+        assert verdict.dropped
+
+
+class TestConfigStore:
+    def test_scope_items_and_scopes(self):
+        config = ConfigStore()
+        config.set(1, "cust-a", "x", 1)
+        config.set(1, "cust-a", "y", 2)
+        config.set(1, "cust-b", "x", 3)
+        config.set(2, "cust-a", "x", 4)
+        assert config.scope_items(1, "cust-a") == {"x": 1, "y": 2}
+        assert config.scopes(1) == {"cust-a", "cust-b"}
+
+    def test_default_on_missing(self):
+        assert ConfigStore().get(1, "s", "k", default="fallback") == "fallback"
+
+
+class TestOffPathStorage:
+    def test_crud_and_counters(self):
+        storage = OffPathStorage()
+        storage.put("a/1", b"x")
+        storage.put("a/2", b"y")
+        storage.put("b/1", b"z")
+        assert storage.get("a/1") == b"x"
+        assert storage.get("missing") is None
+        assert sorted(storage.keys("a/")) == ["a/1", "a/2"]
+        assert storage.delete("a/1") is True
+        assert storage.delete("a/1") is False
+        assert len(storage) == 2
+        assert storage.reads == 2
+        assert storage.writes == 3

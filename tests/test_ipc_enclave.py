@@ -1,0 +1,122 @@
+"""Unit tests for invocation channels and the enclave model."""
+
+import pytest
+
+from repro.core.attestation import PCR_ENCLAVE, SoftwareTPM
+from repro.core.enclave import Enclave, EnclaveError, module_image
+from repro.core.ilp import ILPHeader
+from repro.core.ipc import CostModel, InvocationChannel, InvocationMode
+
+
+class TestInvocationChannel:
+    def _header(self):
+        return ILPHeader(service_id=1, connection_id=5)
+
+    def test_ipc_roundtrip_preserves_values(self):
+        channel = InvocationChannel(InvocationMode.IPC)
+        result = channel.invoke(
+            lambda header, pkt: (header.connection_id, pkt), self._header(), "pkt"
+        )
+        assert result == (5, "pkt")
+
+    def test_ipc_marshals_bytes(self):
+        channel = InvocationChannel(InvocationMode.IPC)
+        channel.invoke(lambda h, p: None, self._header(), b"x" * 100)
+        assert channel.stats.invocations == 1
+        assert channel.stats.bytes_marshalled > 100
+
+    def test_shm_passes_references(self):
+        channel = InvocationChannel(InvocationMode.SHARED_MEMORY)
+        marker = object()
+        received = []
+        channel.invoke(lambda h, p: received.append(p), self._header(), marker)
+        assert received[0] is marker
+
+    def test_ipc_copies_not_references(self):
+        """The IPC hop crosses a process boundary: objects are copied."""
+        channel = InvocationChannel(InvocationMode.IPC)
+        payload = {"k": [1, 2]}
+        received = []
+        channel.invoke(lambda h, p: received.append(p), self._header(), payload)
+        assert received[0] == payload
+        assert received[0] is not payload
+
+
+class TestCostModel:
+    def test_ipc_slower_than_shm(self):
+        cost = CostModel()
+        assert cost.invocation_latency(
+            InvocationMode.IPC, enclave=False
+        ) > cost.invocation_latency(InvocationMode.SHARED_MEMORY, enclave=False)
+
+    def test_enclave_adds_two_crossings(self):
+        cost = CostModel()
+        plain = cost.invocation_latency(InvocationMode.IPC, enclave=False)
+        enclaved = cost.invocation_latency(InvocationMode.IPC, enclave=True)
+        assert enclaved == pytest.approx(plain + 2 * cost.enclave_io)
+
+    def test_table1_shape(self):
+        """The defaults reproduce Table 1's ratios."""
+        cost = CostModel()
+        no_service = cost.terminus_latency
+        null_service = (
+            cost.terminus_latency
+            + cost.invocation_latency(InvocationMode.IPC, enclave=False)
+            + cost.service_packet
+        )
+        assert null_service / no_service == pytest.approx(33.0 / 12.4, rel=0.15)
+
+
+class TestEnclave:
+    def test_call_passes_through(self):
+        enclave = Enclave("svc", b"image-bytes")
+        assert enclave.call(lambda a, b: a + b, 2, 3) == 5
+
+    def test_crossings_counted(self):
+        enclave = Enclave("svc", b"image")
+        enclave.call(lambda x: x, 1)
+        assert enclave.stats.crossings == 2  # in + out
+        assert enclave.stats.bytes_crossed > 0
+
+    def test_arguments_are_copied_across_boundary(self):
+        enclave = Enclave("svc", b"image")
+        payload = {"a": [1]}
+        received = []
+        enclave.call(lambda p: received.append(p) or p, payload)
+        assert received[0] == payload
+        assert received[0] is not payload
+
+    def test_tpm_measured_on_creation(self):
+        tpm = SoftwareTPM()
+        before = tpm.pcr(PCR_ENCLAVE)
+        Enclave("svc", b"image", tpm=tpm)
+        assert tpm.pcr(PCR_ENCLAVE) != before
+
+    def test_quote_requires_tpm(self):
+        with pytest.raises(EnclaveError):
+            Enclave("svc", b"image").quote(b"nonce")
+
+    def test_quote_with_tpm(self):
+        tpm = SoftwareTPM()
+        enclave = Enclave("svc", b"image", tpm=tpm)
+        quote = enclave.quote(b"nonce-1")
+        assert quote.nonce == b"nonce-1"
+
+
+class TestModuleImage:
+    def test_deterministic(self):
+        class Fake:
+            VERSION = "1.0"
+
+        assert module_image(Fake) == module_image(Fake)
+
+    def test_version_changes_image(self):
+        class V1:
+            VERSION = "1.0"
+
+        class V2:
+            VERSION = "2.0"
+
+        V2.__qualname__ = V1.__qualname__
+        V2.__module__ = V1.__module__
+        assert module_image(V1) != module_image(V2)

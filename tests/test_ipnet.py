@@ -1,0 +1,115 @@
+"""Unit tests for the AS-level underlay and hijack modeling."""
+
+import pytest
+
+from repro.netsim.ipnet import ASGraph, IPNetError, build_random_as_graph
+
+
+def line_graph(n: int) -> ASGraph:
+    graph = ASGraph()
+    for i in range(n):
+        graph.add_as(i)
+    for i in range(n - 1):
+        graph.peer(i, i + 1)
+    return graph
+
+
+class TestRouting:
+    def test_origin_resolves_locally(self):
+        graph = line_graph(2)
+        graph.originate(0, "10.0.0.0/24")
+        graph.converge()
+        assert graph.resolve_origin(0, "10.0.0.5") == 0
+
+    def test_learned_route_resolves(self):
+        graph = line_graph(4)
+        graph.originate(0, "10.0.0.0/24")
+        graph.converge()
+        assert graph.resolve_origin(3, "10.0.0.5") == 0
+
+    def test_as_path_lengths(self):
+        graph = line_graph(4)
+        graph.originate(0, "10.0.0.0/24")
+        graph.converge()
+        import ipaddress
+
+        route = graph.ases[3].rib[ipaddress.IPv4Network("10.0.0.0/24")]
+        assert route.length == 3
+        assert route.origin == 0
+        assert route.next_hop == 2
+
+    def test_unroutable_returns_none(self):
+        graph = line_graph(2)
+        graph.converge()
+        assert graph.resolve_origin(1, "99.99.99.99") is None
+
+    def test_longest_prefix_match(self):
+        graph = line_graph(3)
+        graph.originate(0, "10.0.0.0/8")
+        graph.originate(2, "10.0.1.0/24")
+        graph.converge()
+        # AS1 sees both; the /24 must win for its addresses.
+        assert graph.resolve_origin(1, "10.0.1.7") == 2
+        assert graph.resolve_origin(1, "10.9.9.9") == 0
+
+    def test_withdraw(self):
+        graph = line_graph(3)
+        graph.originate(0, "10.0.0.0/24")
+        graph.converge()
+        graph.withdraw(0, "10.0.0.0/24")
+        graph.converge()
+        assert graph.resolve_origin(2, "10.0.0.5") is None
+
+    def test_peer_requires_existing_ases(self):
+        graph = ASGraph()
+        graph.add_as(1)
+        with pytest.raises(IPNetError):
+            graph.peer(1, 2)
+
+    def test_duplicate_as_rejected(self):
+        graph = ASGraph()
+        graph.add_as(1)
+        with pytest.raises(IPNetError):
+            graph.add_as(1)
+
+
+class TestHijack:
+    def test_hijacker_captures_closer_ases(self):
+        # 0 -- 1 -- 2 -- 3 -- 4 ; victim at 0, hijacker at 4
+        graph = line_graph(5)
+        graph.originate(0, "10.0.0.0/24")
+        graph.originate(4, "10.0.0.0/24")  # the hijack
+        graph.converge()
+        # AS3 is closer to the hijacker; AS1 closer to the victim.
+        assert graph.resolve_origin(3, "10.0.0.5") == 4
+        assert graph.resolve_origin(1, "10.0.0.5") == 0
+
+    def test_capture_fraction(self):
+        graph = line_graph(5)
+        graph.originate(0, "10.0.0.0/24")
+        graph.originate(4, "10.0.0.0/24")
+        graph.converge()
+        fraction = graph.capture_fraction(0, 4, "10.0.0.0/24", range(5))
+        # Observers 1,2,3: AS3 captured, AS1 safe, AS2 tie -> lower ASN (0) wins.
+        assert fraction == pytest.approx(1 / 3)
+
+    def test_no_hijack_zero_capture(self):
+        graph = line_graph(5)
+        graph.originate(0, "10.0.0.0/24")
+        graph.converge()
+        assert graph.capture_fraction(0, 4, "10.0.0.0/24", range(5)) == 0.0
+
+    def test_random_graph_builds_connected(self):
+        graph = build_random_as_graph(30, degree=2, seed=7)
+        import networkx as nx
+
+        assert nx.is_connected(graph.graph)
+        graph.originate(0, "1.2.3.0/24")
+        graph.converge()
+        assert all(
+            graph.resolve_origin(asn, "1.2.3.4") == 0 for asn in range(1, 30)
+        )
+
+    def test_random_graph_too_small(self):
+        with pytest.raises(IPNetError):
+            build_random_as_graph(3, degree=3)

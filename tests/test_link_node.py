@@ -1,0 +1,173 @@
+"""Unit tests for links, nodes, and topology helpers."""
+
+import random
+
+import pytest
+
+from repro.netsim import (
+    EchoNode,
+    Link,
+    LinkError,
+    NetNode,
+    NodeError,
+    Simulator,
+    SinkNode,
+    Topology,
+    build_full_mesh,
+    build_line,
+    build_star,
+)
+
+
+class _Frame:
+    def __init__(self, size: int) -> None:
+        self.wire_size = size
+
+
+class TestLink:
+    def test_delivers_after_latency(self):
+        sim = Simulator()
+        a, b = NetNode(sim, "a"), SinkNode(sim, "b")
+        Link(sim, a, b, latency=0.010)
+        a.send_frame(_Frame(100), b)
+        sim.run()
+        assert len(b.received) == 1
+        assert sim.now == pytest.approx(0.010)
+
+    def test_serialization_delay_at_bandwidth(self):
+        sim = Simulator()
+        a, b = NetNode(sim, "a"), SinkNode(sim, "b")
+        Link(sim, a, b, latency=0.0, bandwidth_bps=8000.0)  # 1000 B/s
+        a.send_frame(_Frame(500), b)
+        sim.run()
+        assert sim.now == pytest.approx(0.5)
+
+    def test_back_to_back_frames_queue_on_bandwidth(self):
+        sim = Simulator()
+        a, b = NetNode(sim, "a"), SinkNode(sim, "b")
+        Link(sim, a, b, latency=0.0, bandwidth_bps=8000.0)
+        arrivals = []
+        b.rx_tap = lambda frame, link: arrivals.append(sim.now)
+        a.send_frame(_Frame(500), b)
+        a.send_frame(_Frame(500), b)
+        sim.run()
+        assert arrivals == [pytest.approx(0.5), pytest.approx(1.0)]
+
+    def test_mtu_enforced(self):
+        sim = Simulator()
+        a, b = NetNode(sim, "a"), NetNode(sim, "b")
+        Link(sim, a, b, mtu=100)
+        with pytest.raises(LinkError):
+            a.send_frame(_Frame(101), b)
+
+    def test_loss_rate_drops_frames(self):
+        sim = Simulator()
+        a, b = NetNode(sim, "a"), SinkNode(sim, "b")
+        link = Link(sim, a, b, loss_rate=0.5, rng=random.Random(42))
+        for _ in range(200):
+            a.send_frame(_Frame(10), b)
+        sim.run()
+        stats = link.stats[a]
+        assert stats.frames_dropped_loss > 50
+        assert len(b.received) == stats.frames_sent - stats.frames_dropped_loss
+
+    def test_down_link_drops(self):
+        sim = Simulator()
+        a, b = NetNode(sim, "a"), SinkNode(sim, "b")
+        link = Link(sim, a, b)
+        link.set_down()
+        assert a.send_frame(_Frame(10), b) is False
+        sim.run()
+        assert b.received == []
+        link.set_up()
+        assert a.send_frame(_Frame(10), b) is True
+
+    def test_stats_count_bytes(self):
+        sim = Simulator()
+        a, b = NetNode(sim, "a"), SinkNode(sim, "b")
+        link = Link(sim, a, b)
+        a.send_frame(_Frame(100), b)
+        a.send_frame(_Frame(50), b)
+        sim.run()
+        assert link.stats[a].bytes_sent == 150
+        assert link.stats[a].bytes_delivered == 150
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        a, b = NetNode(sim, "a"), NetNode(sim, "b")
+        with pytest.raises(LinkError):
+            Link(sim, a, b, latency=-1.0)
+        with pytest.raises(LinkError):
+            Link(sim, a, b, loss_rate=1.5)
+
+    def test_raw_bytes_frames_allowed(self):
+        sim = Simulator()
+        a, b = NetNode(sim, "a"), SinkNode(sim, "b")
+        Link(sim, a, b)
+        a.send_frame(b"hello", b)
+        sim.run()
+        assert b.received == [b"hello"]
+
+
+class TestNode:
+    def test_neighbor_bookkeeping(self):
+        sim = Simulator()
+        a, b, c = (NetNode(sim, n) for n in "abc")
+        Link(sim, a, b)
+        Link(sim, a, c)
+        assert set(a.neighbors()) == {b, c}
+        assert a.has_link_to(b)
+        assert not b.has_link_to(c)
+
+    def test_send_to_non_neighbor_raises(self):
+        sim = Simulator()
+        a, b = NetNode(sim, "a"), NetNode(sim, "b")
+        with pytest.raises(NodeError):
+            a.send_frame(_Frame(1), b)
+
+    def test_echo_node_bounces(self):
+        sim = Simulator()
+        a, echo = SinkNode(sim, "a"), EchoNode(sim, "echo")
+        Link(sim, a, echo, latency=0.001)
+        frame = _Frame(10)
+        a.send_frame(frame, echo)
+        sim.run()
+        assert a.received == [frame]
+
+
+class TestTopology:
+    def test_star_shape(self):
+        sim = Simulator()
+        topo = build_star(sim, NetNode, SinkNode, n_leaves=4)
+        center = topo.node("center")
+        assert len(center.neighbors()) == 4
+        assert len(topo.links) == 4
+
+    def test_full_mesh_link_count(self):
+        sim = Simulator()
+        topo = build_full_mesh(sim, NetNode, [f"n{i}" for i in range(5)])
+        assert len(topo.links) == 10  # C(5,2)
+
+    def test_line_shape(self):
+        sim = Simulator()
+        topo = build_line(sim, NetNode, 4)
+        assert len(topo.links) == 3
+        assert len(topo.node("n0").neighbors()) == 1
+        assert len(topo.node("n1").neighbors()) == 2
+
+    def test_duplicate_node_name_rejected(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        topo.add_node(NetNode(sim, "x"))
+        with pytest.raises(ValueError):
+            topo.add_node(NetNode(sim, "x"))
+
+    def test_shortest_path_respects_latency(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        for name in "abc":
+            topo.add_node(NetNode(sim, name))
+        topo.connect("a", "b", latency=0.001)
+        topo.connect("b", "c", latency=0.001)
+        topo.connect("a", "c", latency=0.010)
+        assert topo.shortest_path("a", "c") == ["a", "b", "c"]

@@ -1,0 +1,117 @@
+"""Tests for proactive domain management (Appendix C load balancing)."""
+
+import pytest
+
+from repro import WellKnownService
+from repro.core.loadbalance import EdomainBalancer
+from repro.scenarios import metro_federation
+
+
+def _hot_world():
+    """One edomain with a hot SN (3 chatty hosts) and an idle cold SN."""
+    handles = metro_federation(n_edomains=1, sns_per_edomain=2, hosts_per_sn=0)
+    net = handles.net
+    hot_sn, cold_sn = handles.sns
+    hosts = {}
+    for i in range(3):
+        host = net.add_host(hot_sn, name=f"h{i}")
+        hosts[host.address] = host
+    host_list = list(hosts.values())
+    sink = host_list[-1]  # traffic target, also on the hot SN
+    return net, hot_sn, cold_sn, hosts, sink
+
+
+def _drive(net, hosts, sink, n=30):
+    for host in hosts.values():
+        if host is sink:
+            continue
+        conn = host.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=sink.address, allow_direct=False
+        )
+        for _ in range(n):
+            host.send(conn, b"load")
+    net.run(2.0)
+
+
+class TestBalancer:
+    def test_detects_overload_and_migrates(self):
+        net, hot_sn, cold_sn, hosts, sink = _hot_world()
+        balancer = EdomainBalancer(
+            net.edomains["edomain-0"], hosts, lookup=net.lookup
+        )
+        _drive(net, hosts, sink)
+        plan = balancer.rebalance()
+        assert hot_sn.address in plan.overloaded
+        assert len(plan.migrations) == 1
+        moved = plan.migrations[0]
+        assert moved.from_sn == hot_sn.address
+        assert moved.to_sn == cold_sn.address
+        # The moved host is now associated with both (make-before-break)...
+        host = hosts[moved.host_address]
+        assert cold_sn.address in host.first_hop_addresses
+        assert hot_sn.address in host.first_hop_addresses
+        # ...and prefers the cold SN for new connections.
+        conn = host.connect(WellKnownService.IP_DELIVERY, dest_addr=sink.address)
+        assert conn.via_sn == cold_sn.address
+
+    def test_lookup_record_updated(self):
+        net, hot_sn, cold_sn, hosts, sink = _hot_world()
+        balancer = EdomainBalancer(
+            net.edomains["edomain-0"], hosts, lookup=net.lookup
+        )
+        _drive(net, hosts, sink)
+        plan = balancer.rebalance()
+        moved = plan.migrations[0]
+        record = net.lookup.address_record(moved.host_address)
+        assert record.associated_sns[0] == cold_sn.address
+        assert record.associated_sns.count(cold_sn.address) == 1
+
+    def test_balanced_edomain_is_left_alone(self):
+        net, hot_sn, cold_sn, hosts, sink = _hot_world()
+        balancer = EdomainBalancer(net.edomains["edomain-0"], hosts)
+        # Symmetric load: equal flows through both SNs.
+        other = net.add_host(cold_sn, name="other")
+        hosts[other.address] = other
+        a = list(hosts.values())[0]
+        conn1 = a.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=sink.address, allow_direct=False
+        )
+        conn2 = other.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=other.address, allow_direct=False
+        )
+        for _ in range(20):
+            a.send(conn1, b"x")
+            other.send(conn2, b"y")
+        net.run(2.0)
+        plan = balancer.rebalance()
+        assert plan.migrations == []
+
+    def test_idle_edomain_no_action(self):
+        net, hot_sn, cold_sn, hosts, sink = _hot_world()
+        balancer = EdomainBalancer(net.edomains["edomain-0"], hosts)
+        plan = balancer.rebalance()
+        assert plan.overloaded == []
+        assert plan.migrations == []
+
+    def test_load_is_delta_not_cumulative(self):
+        net, hot_sn, cold_sn, hosts, sink = _hot_world()
+        balancer = EdomainBalancer(net.edomains["edomain-0"], hosts)
+        _drive(net, hosts, sink)
+        balancer.rebalance()
+        # Nothing new since the last pass: no further migrations.
+        plan = balancer.rebalance()
+        assert plan.migrations == []
+
+    def test_periodic_rebalancing(self):
+        net, hot_sn, cold_sn, hosts, sink = _hot_world()
+        balancer = EdomainBalancer(net.edomains["edomain-0"], hosts)
+        balancer.run_periodic(interval=1.0)
+        _drive(net, hosts, sink)
+        net.run(3.0)
+        assert len(balancer.history) >= 3
+        assert any(plan.migrations for plan in balancer.history)
+
+    def test_invalid_factor_rejected(self):
+        net, hot_sn, cold_sn, hosts, sink = _hot_world()
+        with pytest.raises(ValueError):
+            EdomainBalancer(net.edomains["edomain-0"], hosts, imbalance_factor=1.0)

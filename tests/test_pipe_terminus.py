@@ -1,0 +1,212 @@
+"""Unit tests for the pipe-terminus fast/slow path (Figure 2)."""
+
+from typing import Any
+
+import pytest
+
+from repro.core.decision_cache import Action, CacheKey, Decision, DecisionCache, ForwardTarget
+from repro.core.execution_env import ExecutionEnvironment
+from repro.core.ilp import Flags, ILPHeader, TLV
+from repro.core.ipc import InvocationMode
+from repro.core.packet import ILPPacket, L3Header, make_payload
+from repro.core.pipe_terminus import PipeTerminus
+from repro.core.psp import PSPContext, PeerKeyStore, pairwise_secret
+from repro.core.service_module import Emit, ServiceModule, Verdict
+from repro.netsim import Simulator
+from repro.core.service_node import ServiceNode
+
+SN_ADDR = "10.0.0.1"
+PEER_A = "10.0.0.2"
+PEER_B = "10.0.0.3"
+
+
+class _RecordingService(ServiceModule):
+    SERVICE_ID = 42
+    NAME = "recording"
+
+    def __init__(self, verdict_fn=None) -> None:
+        super().__init__()
+        self.seen: list[ILPHeader] = []
+        self.control_seen: list[ILPHeader] = []
+        self.verdict_fn = verdict_fn or (lambda h, p: Verdict.drop())
+
+    def handle_packet(self, header: ILPHeader, packet: Any) -> Verdict:
+        self.seen.append(header)
+        return self.verdict_fn(header, packet)
+
+    def handle_control(self, header: ILPHeader, packet: Any) -> Verdict:
+        self.control_seen.append(header)
+        return Verdict.drop()
+
+
+class _Fixture:
+    def __init__(self, service=None):
+        self.sim = Simulator()
+        # A real ServiceNode supplies env wiring; we drive its terminus directly.
+        self.node = ServiceNode(self.sim, "sn", SN_ADDR)
+        self.terminus = self.node.terminus
+        self.sent: list[tuple[str, ILPPacket]] = []
+        self.terminus._transmit = lambda peer, pkt: (self.sent.append((peer, pkt)), True)[1]
+        self.peers = {}
+        for peer in (PEER_A, PEER_B):
+            secret = pairwise_secret(SN_ADDR, peer)
+            self.node.keystore.establish(peer, secret)
+            self.peers[peer] = PSPContext(secret)
+        self.service = service or _RecordingService()
+        self.node.env.load(self.service)
+
+    def packet(self, peer=PEER_A, service_id=42, conn=7, flags=0, tlvs=None, data=b"d"):
+        header = ILPHeader(service_id=service_id, connection_id=conn, flags=flags)
+        if tlvs:
+            header.tlvs.update(tlvs)
+        wire = self.peers[peer].seal(header.encode())
+        return ILPPacket(
+            l3=L3Header(src=peer, dst=SN_ADDR),
+            ilp_wire=wire,
+            payload=make_payload(data),
+        )
+
+
+class TestIngressValidation:
+    def test_unknown_peer_dropped(self):
+        fx = _Fixture()
+        pkt = fx.packet()
+        pkt.l3 = L3Header(src="9.9.9.9", dst=SN_ADDR)
+        fx.terminus.receive(pkt)
+        assert fx.terminus.stats.drops_no_peer == 1
+        assert fx.service.seen == []
+
+    def test_bad_auth_dropped(self):
+        fx = _Fixture()
+        pkt = fx.packet()
+        pkt.ilp_wire = pkt.ilp_wire[:-1] + bytes([pkt.ilp_wire[-1] ^ 1])
+        fx.terminus.receive(pkt)
+        assert fx.terminus.stats.drops_auth == 1
+
+    def test_malformed_header_dropped(self):
+        fx = _Fixture()
+        ctx = fx.peers[PEER_A]
+        pkt = ILPPacket(
+            l3=L3Header(src=PEER_A, dst=SN_ADDR),
+            ilp_wire=ctx.seal(b"\x01\x02"),  # too short for an ILP header
+            payload=make_payload(b""),
+        )
+        fx.terminus.receive(pkt)
+        assert fx.terminus.stats.drops_malformed == 1
+
+    def test_unknown_service_dropped(self):
+        fx = _Fixture()
+        fx.terminus.receive(fx.packet(service_id=999))
+        assert fx.terminus.stats.drops_no_service == 1
+
+
+class TestSlowPath:
+    def test_miss_punts_to_service(self):
+        fx = _Fixture()
+        fx.terminus.receive(fx.packet())
+        assert len(fx.service.seen) == 1
+        assert fx.terminus.stats.punts == 1
+
+    def test_control_always_punts_to_control_handler(self):
+        fx = _Fixture()
+        # Install a cache entry that would match if this were a data packet.
+        key = CacheKey(PEER_A, 42, 7)
+        fx.terminus.cache.install(key, Decision.forward(PEER_B))
+        fx.terminus.receive(fx.packet(flags=Flags.CONTROL))
+        assert len(fx.service.control_seen) == 1
+        assert fx.sent == []
+
+    def test_verdict_installs_and_emits(self):
+        def verdict(header, packet):
+            v = Verdict.forward(PEER_B, header, packet.payload)
+            v.installs.append(
+                (CacheKey(PEER_A, 42, header.connection_id), Decision.forward(PEER_B))
+            )
+            return v
+
+        fx = _Fixture(_RecordingService(verdict))
+        fx.terminus.receive(fx.packet())
+        assert len(fx.sent) == 1
+        assert fx.sent[0][0] == PEER_B
+        # Second packet: fast path, service not consulted again.
+        fx.terminus.receive(fx.packet())
+        assert len(fx.service.seen) == 1
+        assert fx.terminus.stats.fast_path == 1
+
+
+class TestFastPath:
+    def test_hit_forwards_without_service(self):
+        fx = _Fixture()
+        fx.terminus.cache.install(CacheKey(PEER_A, 42, 7), Decision.forward(PEER_B))
+        fx.terminus.receive(fx.packet())
+        assert fx.service.seen == []
+        assert len(fx.sent) == 1
+
+    def test_multi_destination_fanout(self):
+        """Figure 2: a decision can specify multiple destinations."""
+        fx = _Fixture()
+        fx.terminus.cache.install(
+            CacheKey(PEER_A, 42, 7), Decision.forward(PEER_A, PEER_B)
+        )
+        fx.terminus.receive(fx.packet())
+        assert sorted(peer for peer, _ in fx.sent) == [PEER_A, PEER_B]
+
+    def test_drop_decision(self):
+        fx = _Fixture()
+        fx.terminus.cache.install(CacheKey(PEER_A, 42, 7), Decision.drop())
+        fx.terminus.receive(fx.packet())
+        assert fx.sent == []
+        assert fx.terminus.stats.drops_by_decision == 1
+
+    def test_tlv_rewrite_on_fast_path(self):
+        fx = _Fixture()
+        target = ForwardTarget(
+            PEER_B, tlv_updates=((TLV.DEST_SN, b"10.0.9.9"),)
+        )
+        fx.terminus.cache.install(
+            CacheKey(PEER_A, 42, 7),
+            Decision(action=Action.FORWARD, targets=(target,)),
+        )
+        fx.terminus.receive(fx.packet())
+        peer, out = fx.sent[0]
+        opened = fx.peers[PEER_B].open(out.ilp_wire)
+        decoded = ILPHeader.decode(opened)
+        assert decoded.get_str(TLV.DEST_SN) == "10.0.9.9"
+
+    def test_output_resealed_per_peer(self):
+        """Egress headers must decrypt with the *destination's* context."""
+        fx = _Fixture()
+        fx.terminus.cache.install(CacheKey(PEER_A, 42, 7), Decision.forward(PEER_B))
+        fx.terminus.receive(fx.packet())
+        _, out = fx.sent[0]
+        assert out.l3.src == SN_ADDR
+        assert out.l3.dst == PEER_B
+        decoded = ILPHeader.decode(fx.peers[PEER_B].open(out.ilp_wire))
+        assert decoded.connection_id == 7
+        # The sender's context must NOT decrypt it (fresh encryption).
+        with pytest.raises(Exception):
+            fx.peers[PEER_A].open(out.ilp_wire)
+
+    def test_send_to_unknown_peer_fails(self):
+        fx = _Fixture()
+        header = ILPHeader(service_id=42, connection_id=1)
+        assert not fx.terminus.send("9.9.9.9", header, make_payload(b""))
+        assert fx.terminus.stats.drops_no_peer == 1
+
+
+class TestEvictionCorrectness:
+    def test_eviction_mid_connection_recomputes(self):
+        """Appendix B: evicting an active connection's entry must not break it."""
+        def verdict(header, packet):
+            v = Verdict.forward(PEER_B, header, packet.payload)
+            v.installs.append(
+                (CacheKey(PEER_A, 42, header.connection_id), Decision.forward(PEER_B))
+            )
+            return v
+
+        fx = _Fixture(_RecordingService(verdict))
+        fx.terminus.receive(fx.packet())
+        fx.terminus.cache.evict_random_fraction(1.0)
+        fx.terminus.receive(fx.packet())
+        assert len(fx.sent) == 2  # both packets forwarded
+        assert len(fx.service.seen) == 2  # service recomputed after eviction

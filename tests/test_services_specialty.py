@@ -1,0 +1,415 @@
+"""Tests for specialty services: msgqueue, bulk, time-ordered, attestation, QoS."""
+
+import pytest
+
+from repro import WellKnownService
+from repro.core.attestation import AttestationVerifier
+from repro.core.ilp import TLV
+from repro.services.attest import AttestationClient
+from repro.services.bulk import BulkReceiver, offer_object
+from repro.services.msgqueue import OP_DELIVER, ack, produce, queue_home, subscribe
+from repro.services.qos import QoSSpec, StreamClass, clear_qos, request_qos
+from repro.services.timesync import GPSClock
+
+
+def sn_of(net, edomain, index):
+    dom = net.edomains[edomain]
+    return dom.sns[dom.sn_addresses()[index]]
+
+
+def payloads(host):
+    return [p.data for _, p in host.delivered if p.data]
+
+
+class TestQueueHome:
+    def test_rendezvous_deterministic(self):
+        sns = ["10.0.0.1", "10.0.0.2", "10.0.0.3"]
+        assert queue_home("orders", sns) == queue_home("orders", list(reversed(sns)))
+
+    def test_distributes_queues(self):
+        sns = [f"10.0.0.{i}" for i in range(1, 11)]
+        homes = {queue_home(f"q{i}", sns) for i in range(100)}
+        assert len(homes) > 3  # spread across several SNs
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            queue_home("q", [])
+
+
+class TestMessageQueue:
+    def test_produce_subscribe_deliver(self, two_edomain_net):
+        net = two_edomain_net
+        producer = net.add_host(sn_of(net, "west", 0), name="producer")
+        consumer = net.add_host(sn_of(net, "east", 0), name="consumer")
+        subscribe(consumer, "orders")
+        net.run(1.0)
+        produce(producer, "orders", b"order-1")
+        produce(producer, "orders", b"order-2")
+        net.run(1.0)
+        assert payloads(consumer) == [b"order-1", b"order-2"]
+
+    def test_subscriber_catches_up_on_backlog(self, two_edomain_net):
+        net = two_edomain_net
+        producer = net.add_host(sn_of(net, "west", 1), name="producer")
+        produce(producer, "logs", b"old-1")
+        produce(producer, "logs", b"old-2")
+        net.run(1.0)
+        late = net.add_host(sn_of(net, "east", 1), name="late")
+        subscribe(late, "logs")
+        net.run(1.0)
+        assert payloads(late) == [b"old-1", b"old-2"]
+
+    def test_offsets_carried_in_deliveries(self, two_edomain_net):
+        net = two_edomain_net
+        producer = net.add_host(sn_of(net, "west", 0), name="producer")
+        consumer = net.add_host(sn_of(net, "west", 0), name="consumer")
+        subscribe(consumer, "q")
+        net.run(1.0)
+        for i in range(3):
+            produce(producer, "q", f"m{i}".encode())
+        net.run(1.0)
+        offsets = [
+            h.get_u64(TLV.SEQUENCE)
+            for h, p in consumer.delivered
+            if h.tlvs.get(TLV.SERVICE_OPTS) == OP_DELIVER
+        ]
+        assert offsets == [0, 1, 2]
+
+    def test_ack_clears_unacked_and_redelivery(self, two_edomain_net):
+        net = two_edomain_net
+        producer = net.add_host(sn_of(net, "west", 0), name="producer")
+        consumer = net.add_host(sn_of(net, "east", 0), name="consumer")
+        subscribe(consumer, "jobs")
+        net.run(1.0)
+        produce(producer, "jobs", b"job-0")
+        produce(producer, "jobs", b"job-1")
+        net.run(1.0)
+        # Find the home SN and its module.
+        home_addr = queue_home("jobs", sorted(net.lookup.service_nodes("msgqueue")))
+        module = net.sn_at(home_addr).env.service(WellKnownService.MSG_QUEUE)
+        assert module.queues["jobs"].unacked[consumer.address] == {0, 1}
+        ack(consumer, "jobs", 0)
+        net.run(1.0)
+        assert module.queues["jobs"].unacked[consumer.address] == {1}
+        # Redelivery resends only the unacked message.
+        count = module.redeliver_unacked("jobs")
+        net.run(1.0)
+        assert count == 1
+        assert payloads(consumer).count(b"job-1") == 2
+
+    def test_multiple_consumers_independent_cursors(self, two_edomain_net):
+        net = two_edomain_net
+        producer = net.add_host(sn_of(net, "west", 0), name="producer")
+        c1 = net.add_host(sn_of(net, "west", 1), name="c1")
+        c2 = net.add_host(sn_of(net, "east", 0), name="c2")
+        subscribe(c1, "fan")
+        net.run(1.0)
+        produce(producer, "fan", b"first")
+        net.run(1.0)
+        subscribe(c2, "fan")  # late subscriber still gets backlog
+        net.run(1.0)
+        produce(producer, "fan", b"second")
+        net.run(1.0)
+        assert payloads(c1) == [b"first", b"second"]
+        assert payloads(c2) == [b"first", b"second"]
+
+    def test_checkpoint_restore(self, two_edomain_net):
+        net = two_edomain_net
+        producer = net.add_host(sn_of(net, "west", 0), name="producer")
+        produce(producer, "persist", b"msg")
+        net.run(1.0)
+        home_addr = queue_home(
+            "persist", sorted(net.lookup.service_nodes("msgqueue"))
+        )
+        module = net.sn_at(home_addr).env.service(WellKnownService.MSG_QUEUE)
+        state = module.checkpoint()
+        fresh = type(module)()
+        fresh.restore(state)
+        assert fresh.queues["persist"].log == [b"msg"]
+
+
+class TestBulkDelivery:
+    def test_offer_fetch_complete(self, two_edomain_net):
+        net = two_edomain_net
+        publisher_sn = sn_of(net, "west", 0)
+        publisher = net.add_host(publisher_sn, name="publisher")
+        receiver = net.add_host(sn_of(net, "east", 0), name="receiver")
+        data = bytes(range(256)) * 20  # 5120 B -> 5 chunks @ 1024
+        offer_object(publisher, "dataset-1", data)
+        net.run(1.0)
+        fetch = BulkReceiver(
+            host=receiver, object_name="dataset-1", origin_sn=publisher_sn.address
+        )
+        fetch.install()
+        fetch.start()
+        net.run(2.0)
+        assert fetch.complete
+        assert fetch.data == data
+        assert fetch.manifest.n_chunks == 5
+
+    def test_second_receiver_hits_edge_chunk_store(self, two_edomain_net):
+        net = two_edomain_net
+        publisher_sn = sn_of(net, "west", 0)
+        receiver_sn = sn_of(net, "east", 0)
+        publisher = net.add_host(publisher_sn, name="publisher")
+        r1 = net.add_host(receiver_sn, name="r1")
+        r2 = net.add_host(receiver_sn, name="r2")
+        data = b"z" * 3000
+        offer_object(publisher, "obj", data)
+        net.run(1.0)
+        for receiver in (r1, r2):
+            fetch = BulkReceiver(
+                host=receiver, object_name="obj", origin_sn=publisher_sn.address
+            )
+            fetch.install()
+            fetch.start()
+            net.run(2.0)
+            assert fetch.complete
+        # The receivers' local SN cached chunks in transit: its module
+        # served the second fetch without chunk misses.
+        edge_module = receiver_sn.env.service(WellKnownService.BULK_DELIVERY)
+        assert edge_module.chunk_hits >= 3
+
+    def test_rerequest_missing_chunks(self, two_edomain_net):
+        net = two_edomain_net
+        publisher_sn = sn_of(net, "west", 0)
+        publisher = net.add_host(publisher_sn, name="publisher")
+        receiver = net.add_host(sn_of(net, "east", 0), name="receiver")
+        data = b"q" * 2500
+        offer_object(publisher, "lossy", data)
+        net.run(1.0)
+        fetch = BulkReceiver(
+            host=receiver, object_name="lossy", origin_sn=publisher_sn.address
+        )
+        fetch.install()
+        fetch.start()
+        net.run(2.0)
+        # Simulate losing a chunk after the fact, then re-request.
+        fetch.complete = False
+        fetch.data = None
+        del fetch.chunks[1]
+        assert fetch.missing_chunks() == [1]
+        assert fetch.rerequest_missing() == 1
+        net.run(2.0)
+        assert fetch.complete
+        assert fetch.data == data
+
+    def test_offer_only_from_local_publisher(self, two_edomain_net):
+        net = two_edomain_net
+        remote_sn = sn_of(net, "east", 0)
+        publisher = net.add_host(sn_of(net, "west", 0), name="publisher")
+        # Craft an offer aimed at a *remote* SN's module: it must refuse.
+        conn = publisher.connect(
+            WellKnownService.BULK_DELIVERY,
+            dest_sn=remote_sn.address,
+            dest_addr=remote_sn.address,
+            allow_direct=False,
+        )
+        publisher.send(
+            conn,
+            b"data",
+            extra_tlvs={TLV.TOPIC: b"evil", TLV.SERVICE_OPTS: b"offer"},
+        )
+        net.run(1.0)
+        remote_module = remote_sn.env.service(WellKnownService.BULK_DELIVERY)
+        assert "evil" not in remote_module.manifests
+
+
+class TestTimeOrdered:
+    def test_release_in_stamp_order(self, two_edomain_net):
+        net = two_edomain_net
+        sn_a = sn_of(net, "west", 0)
+        sn_b = sn_of(net, "west", 1)
+        dest_sn = sn_of(net, "east", 0)
+        sender_a = net.add_host(sn_a, name="sa")
+        sender_b = net.add_host(sn_b, name="sb")
+        dest = net.add_host(dest_sn, name="dest")
+        # Give the two sender SNs different (bounded) clock offsets.
+        sn_a.env.service(WellKnownService.TIME_ORDERED).clock = GPSClock(offset=20e-6)
+        sn_b.env.service(WellKnownService.TIME_ORDERED).clock = GPSClock(offset=-20e-6)
+
+        conn_a = sender_a.connect(
+            WellKnownService.TIME_ORDERED, dest_addr=dest.address, allow_direct=False
+        )
+        conn_b = sender_b.connect(
+            WellKnownService.TIME_ORDERED, dest_addr=dest.address, allow_direct=False
+        )
+        # B sends first (true time), A slightly later.
+        sender_b.send(conn_b, b"first")
+        net.run(0.003)
+        sender_a.send(conn_a, b"second")
+        net.run(2.0)
+        assert payloads(dest) == [b"first", b"second"]
+
+    def test_reordering_corrected_by_buffer(self, two_edomain_net):
+        """A message stamped earlier but arriving later is still delivered
+        in stamp order, as long as it arrives within the release delay."""
+        net = two_edomain_net
+        dest_sn = sn_of(net, "east", 0)
+        module = dest_sn.env.service(WellKnownService.TIME_ORDERED)
+        module.release_delay = 0.1
+
+        sn_near = sn_of(net, "east", 1)  # short path to dest_sn
+        sn_far = sn_of(net, "west", 1)  # long path (through border)
+        near = net.add_host(sn_near, name="near")
+        far = net.add_host(sn_far, name="far")
+        dest = net.add_host(dest_sn, name="dest")
+
+        conn_far = far.connect(
+            WellKnownService.TIME_ORDERED, dest_addr=dest.address, allow_direct=False
+        )
+        conn_near = near.connect(
+            WellKnownService.TIME_ORDERED, dest_addr=dest.address, allow_direct=False
+        )
+        far.send(conn_far, b"stamped-early")  # long path: arrives later
+        net.run(0.001)
+        near.send(conn_near, b"stamped-late")  # short path: arrives first
+        net.run(5.0)
+        assert payloads(dest) == [b"stamped-early", b"stamped-late"]
+
+    def test_clock_offset_bound_enforced(self):
+        with pytest.raises(ValueError):
+            GPSClock(error_bound=10e-6, offset=20e-6)
+
+    def test_pending_counts(self, two_edomain_net):
+        net = two_edomain_net
+        dest_sn = sn_of(net, "east", 0)
+        module = dest_sn.env.service(WellKnownService.TIME_ORDERED)
+        module.release_delay = 10.0  # long buffer
+        sender = net.add_host(sn_of(net, "west", 0), name="s")
+        dest = net.add_host(dest_sn, name="d")
+        conn = sender.connect(
+            WellKnownService.TIME_ORDERED, dest_addr=dest.address, allow_direct=False
+        )
+        sender.send(conn, b"held")
+        net.run(1.0)
+        assert module.pending(dest.address) == 1
+        assert payloads(dest) == []
+        net.run(15.0)
+        assert payloads(dest) == [b"held"]
+
+
+class TestAttestationService:
+    def test_quote_verifies(self, two_edomain_net):
+        net = two_edomain_net
+        sn = sn_of(net, "west", 0)
+        host = net.add_host(sn, name="client")
+        net.lookup.registry.register(sn.env.tpm.keypair)
+        client = AttestationClient(
+            host=host, verifier=AttestationVerifier(net.lookup.registry)
+        )
+        client.install()
+        client.challenge(b"fresh-nonce-123")
+        net.run(1.0)
+        assert client.results == [True]
+
+    def test_stale_nonce_rejected(self, two_edomain_net):
+        net = two_edomain_net
+        sn = sn_of(net, "west", 0)
+        host = net.add_host(sn, name="client")
+        net.lookup.registry.register(sn.env.tpm.keypair)
+        client = AttestationClient(
+            host=host, verifier=AttestationVerifier(net.lookup.registry)
+        )
+        client.install()
+        client.challenge(b"nonce-A")
+        client._nonce = b"nonce-B"  # verifier expects something else
+        net.run(1.0)
+        assert client.results == [False]
+
+    def test_unregistered_sn_fails_verification(self, two_edomain_net):
+        net = two_edomain_net
+        sn = sn_of(net, "west", 0)
+        host = net.add_host(sn, name="client")
+        client = AttestationClient(
+            host=host, verifier=AttestationVerifier(net.lookup.registry)
+        )
+        client.install()
+        client.challenge(b"n")
+        net.run(1.0)
+        assert client.results == [False]
+
+
+class TestLastHopQoS:
+    def _congested_world(self, net):
+        """Two senders flood one receiver behind a shaped access link."""
+        recv_sn = sn_of(net, "east", 0)
+        gamer_src = net.add_host(sn_of(net, "west", 0), name="game-server")
+        bulk_src = net.add_host(sn_of(net, "west", 1), name="cdn")
+        receiver = net.add_host(recv_sn, name="household")
+        return recv_sn, gamer_src, bulk_src, receiver
+
+    def test_configure_installs_shaper(self, two_edomain_net):
+        net = two_edomain_net
+        recv_sn, gamer_src, _, receiver = self._congested_world(net)
+        spec = QoSSpec(
+            link_bps=8_000_000,
+            classes=[
+                StreamClass("gaming", f"{gamer_src.address}/32", priority=0),
+            ],
+        )
+        request_qos(receiver, spec)
+        net.run(1.0)
+        module = recv_sn.env.service(WellKnownService.LAST_HOP_QOS)
+        assert module.shaper_for(receiver.address) is not None
+        clear_qos(receiver)
+        net.run(1.0)
+        assert module.shaper_for(receiver.address) is None
+
+    def test_priority_traffic_wins_under_congestion(self, two_edomain_net):
+        net = two_edomain_net
+        recv_sn, gamer_src, bulk_src, receiver = self._congested_world(net)
+        spec = QoSSpec(
+            link_bps=1_000_000,  # 1 Mbps access link
+            classes=[
+                StreamClass("gaming", f"{gamer_src.address}/32", priority=0),
+                StreamClass("streaming", f"{bulk_src.address}/32", priority=1),
+            ],
+        )
+        request_qos(receiver, spec)
+        net.run(1.0)
+        game_conn = gamer_src.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=receiver.address, allow_direct=False
+        )
+        bulk_conn = bulk_src.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=receiver.address, allow_direct=False
+        )
+        # Flood with bulk, trickle gaming.
+        for _ in range(40):
+            bulk_src.send(bulk_conn, b"B" * 1000)
+        for _ in range(5):
+            gamer_src.send(game_conn, b"G" * 100)
+        net.run(0.2)  # not enough time to drain everything at 1 Mbps
+        got = payloads(receiver)
+        gaming_got = sum(1 for d in got if d.startswith(b"G"))
+        assert gaming_got == 5  # all gaming packets beat the backlog
+        assert sum(1 for d in got if d.startswith(b"B")) < 40
+
+    def test_weights_respected_within_priority(self, two_edomain_net):
+        net = two_edomain_net
+        recv_sn, src_a, src_b, receiver = self._congested_world(net)
+        spec = QoSSpec(
+            link_bps=800_000,
+            classes=[
+                StreamClass("a", f"{src_a.address}/32", priority=1, weight=3.0),
+                StreamClass("b", f"{src_b.address}/32", priority=1, weight=1.0),
+            ],
+        )
+        request_qos(receiver, spec)
+        net.run(1.0)
+        conn_a = src_a.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=receiver.address, allow_direct=False
+        )
+        conn_b = src_b.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=receiver.address, allow_direct=False
+        )
+        for _ in range(100):
+            src_a.send(conn_a, b"A" * 500)
+            src_b.send(conn_b, b"B" * 500)
+        net.run(0.25)  # drain roughly a quarter of the backlog
+        shaper = recv_sn.env.service(
+            WellKnownService.LAST_HOP_QOS
+        ).shaper_for(receiver.address)
+        served_a = shaper.bytes_delivered("a")
+        served_b = shaper.bytes_delivered("b")
+        assert served_a / max(1, served_b) == pytest.approx(3.0, rel=0.35)

@@ -1,0 +1,128 @@
+"""Tests for the transcode bundle and the federation economics wiring."""
+
+import pytest
+
+from repro import WellKnownService
+from repro.econ import PeeringError
+from repro.libs.media import MediaLibrary
+from repro.services.transcode import set_rendition
+
+
+def sn_of(net, edomain, index):
+    dom = net.edomains[edomain]
+    return dom.sns[dom.sn_addresses()[index]]
+
+
+def payloads(host):
+    return [p.data for _, p in host.delivered if p.data]
+
+
+class TestTranscodeBundle:
+    def _stream(self, net, profile=None):
+        source = net.add_host(sn_of(net, "west", 0), name="camera")
+        viewer_sn = sn_of(net, "east", 0)
+        viewer = net.add_host(viewer_sn, name="viewer")
+        if profile is not None:
+            set_rendition(viewer, profile)
+            net.run(0.5)
+        conn = source.connect(
+            WellKnownService.TRANSCODE_BUNDLE,
+            dest_addr=viewer.address,
+            allow_direct=False,
+        )
+        chunk = bytes(1000)
+        source.send(conn, chunk)
+        net.run(1.0)
+        return viewer, viewer_sn, chunk
+
+    def test_full_rate_without_profile(self, two_edomain_net):
+        viewer, viewer_sn, chunk = self._stream(two_edomain_net)
+        assert payloads(viewer) == [chunk]
+
+    def test_receiver_rendition_applied_at_edge(self, two_edomain_net):
+        viewer, viewer_sn, chunk = self._stream(two_edomain_net, profile="480p")
+        got = payloads(viewer)
+        assert len(got) == 1
+        profile, original, body = MediaLibrary.describe(got[0])
+        assert profile == "480p"
+        assert original == len(chunk)
+        assert body < len(chunk)
+        module = viewer_sn.env.service(WellKnownService.TRANSCODE_BUNDLE)
+        assert module.chunks_transcoded == 1
+
+    def test_upstream_sns_do_not_transcode(self, two_edomain_net):
+        """Only the receiver's first-hop SN re-encodes."""
+        net = two_edomain_net
+        viewer, viewer_sn, chunk = self._stream(net, profile="720p")
+        source_sn = sn_of(net, "west", 0)
+        module = source_sn.env.service(WellKnownService.TRANSCODE_BUNDLE)
+        assert module.chunks_transcoded == 0
+        assert module.chunks_passed >= 1
+
+    def test_unknown_profile_rejected(self, two_edomain_net):
+        net = two_edomain_net
+        viewer = net.add_host(sn_of(net, "east", 0), name="viewer")
+        set_rendition(viewer, "16k-hologram")
+        net.run(0.5)
+        module = sn_of(net, "east", 0).env.service(
+            WellKnownService.TRANSCODE_BUNDLE
+        )
+        assert viewer.address not in module.profiles
+
+    def test_profile_is_portable_config(self, two_edomain_net):
+        """The rendition choice lives in standardized config (§5)."""
+        net = two_edomain_net
+        viewer_sn = sn_of(net, "east", 0)
+        viewer = net.add_host(viewer_sn, name="viewer")
+        set_rendition(viewer, "audio")
+        net.run(0.5)
+        assert (
+            viewer_sn.env.config.get(
+                WellKnownService.TRANSCODE_BUNDLE, viewer.address, "profile"
+            )
+            == "audio"
+        )
+
+
+class TestEconomicsWiring:
+    def test_cross_edomain_traffic_recorded(self, two_edomain_net):
+        net = two_edomain_net
+        a = net.add_host(sn_of(net, "west", 1), name="a")
+        b = net.add_host(sn_of(net, "east", 1), name="b")
+        conn = a.connect(WellKnownService.IP_DELIVERY, dest_addr=b.address)
+        for _ in range(5):
+            a.send(conn, b"x" * 100)
+        net.run(1.0)
+        record = net.ledger.traffic("west", "east")
+        assert record.packets_sent == 5
+        assert record.bytes_sent > 5 * 100
+
+    def test_intra_edomain_traffic_not_recorded(self, two_edomain_net):
+        net = two_edomain_net
+        sn = sn_of(net, "west", 0)
+        a = net.add_host(sn, name="a")
+        b = net.add_host(sn, name="b")
+        conn = a.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=b.address, allow_direct=False
+        )
+        a.send(conn, b"local")
+        net.run(1.0)
+        assert net.ledger.traffic("west", "west").packets_sent == 0
+        assert net.ledger.traffic("west", "east").packets_sent == 0
+
+    def test_settlement_free_invariant_holds_with_real_traffic(
+        self, two_edomain_net
+    ):
+        net = two_edomain_net
+        a = net.add_host(sn_of(net, "west", 0), name="a")
+        b = net.add_host(sn_of(net, "east", 0), name="b")
+        conn = a.connect(WellKnownService.IP_DELIVERY, dest_addr=b.address)
+        for _ in range(50):
+            a.send(conn, b"y" * 500)
+        net.run(1.0)
+        # Heavy asymmetry exists...
+        assert net.ledger.imbalance("west", "east") > 0
+        # ...and still cannot trigger settlement (§5).
+        with pytest.raises(PeeringError):
+            net.ledger.post_settlement("east", "west", 1.0)
+        assert net.ledger.interdomain_balance() == 0.0

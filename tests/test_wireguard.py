@@ -1,0 +1,123 @@
+"""Unit tests for the WireGuard-like tunnel substrate (Appendix C)."""
+
+import pytest
+
+from repro.wireguard import (
+    HANDSHAKE_INITIATION_BYTES,
+    HANDSHAKE_RESPONSE_BYTES,
+    KEEPALIVE_BYTES,
+    TunnelError,
+    TunnelMesh,
+    WireGuardTunnel,
+)
+
+
+class TestTunnel:
+    def test_handshake_establishes(self):
+        tunnel = WireGuardTunnel("a", "b")
+        used = tunnel.handshake(now=0.0)
+        assert tunnel.established
+        assert used == HANDSHAKE_INITIATION_BYTES + HANDSHAKE_RESPONSE_BYTES
+        assert tunnel.epoch == 1
+
+    def test_transport_roundtrip(self):
+        tunnel = WireGuardTunnel("a", "b")
+        tunnel.handshake(0.0)
+        blob = tunnel.encrypt(b"payload")
+        assert tunnel.decrypt(blob) == b"payload"
+        assert b"payload" not in blob
+
+    def test_transport_before_handshake_rejected(self):
+        tunnel = WireGuardTunnel("a", "b")
+        with pytest.raises(TunnelError):
+            tunnel.encrypt(b"x")
+
+    def test_rekey_rotates_keys(self):
+        tunnel = WireGuardTunnel("a", "b")
+        tunnel.handshake(0.0)
+        old_blob = tunnel.encrypt(b"x")
+        tunnel.rekey(180.0)
+        assert tunnel.epoch == 2
+        new_blob = tunnel.encrypt(b"x")
+        # Old blob no longer decrypts (keys rotated).
+        with pytest.raises(Exception):
+            tunnel.decrypt(old_blob)
+        assert tunnel.decrypt(new_blob) == b"x"
+
+    def test_rekey_before_handshake_rejected(self):
+        with pytest.raises(TunnelError):
+            WireGuardTunnel("a", "b").rekey(0.0)
+
+    def test_keepalive_updates_schedule(self):
+        tunnel = WireGuardTunnel("a", "b", keepalive_interval=25.0)
+        tunnel.handshake(0.0)
+        assert tunnel.next_keepalive_at == 25.0
+        used = tunnel.keepalive(25.0)
+        assert used == KEEPALIVE_BYTES
+        assert tunnel.next_keepalive_at == 50.0
+
+    def test_stats_accumulate(self):
+        tunnel = WireGuardTunnel("a", "b")
+        tunnel.handshake(0.0)
+        tunnel.rekey(180.0)
+        tunnel.keepalive(200.0)
+        assert tunnel.stats.handshakes == 2
+        assert tunnel.stats.rekeys == 1
+        assert tunnel.stats.keepalives_sent == 1
+        assert tunnel.stats.control_bytes == 2 * (
+            HANDSHAKE_INITIATION_BYTES + HANDSHAKE_RESPONSE_BYTES
+        ) + KEEPALIVE_BYTES
+
+
+class TestMesh:
+    def test_add_peers(self):
+        mesh = TunnelMesh("border", keepalives_enabled=False)
+        mesh.add_peers(50)
+        assert len(mesh) == 50
+        assert all(t.established for t in mesh.tunnels.values())
+
+    def test_duplicate_peer_rejected(self):
+        mesh = TunnelMesh("border")
+        mesh.add_peer("p")
+        with pytest.raises(ValueError):
+            mesh.add_peer("p")
+
+    def test_rekeys_at_interval(self):
+        mesh = TunnelMesh("border", rekey_interval=180.0, keepalives_enabled=False)
+        mesh.add_peers(10)
+        report = mesh.advance(until=180.0 * 3)
+        assert report.rekeys == 30  # 3 rounds x 10 tunnels
+        assert report.tunnels == 10
+        assert all(t.epoch == 4 for t in mesh.tunnels.values())
+
+    def test_keepalives_at_interval(self):
+        mesh = TunnelMesh("border", rekey_interval=1e9, keepalive_interval=25.0)
+        mesh.add_peers(4)
+        report = mesh.advance(until=100.0)
+        assert report.keepalives == 16  # floor(100/25)=4 per tunnel
+
+    def test_bandwidth_linear_in_tunnels(self):
+        small = TunnelMesh("a", keepalives_enabled=False)
+        small.add_peers(10)
+        large = TunnelMesh("b", keepalives_enabled=False)
+        large.add_peers(100)
+        r_small = small.advance(until=360.0)
+        r_large = large.advance(until=360.0)
+        assert r_large.bandwidth_mbps == pytest.approx(
+            10 * r_small.bandwidth_mbps, rel=0.01
+        )
+
+    def test_removed_peer_stops_maintenance(self):
+        mesh = TunnelMesh("border", rekey_interval=10.0, keepalives_enabled=False)
+        mesh.add_peers(2)
+        mesh.remove_peer("peer-0")
+        report = mesh.advance(until=100.0)
+        assert report.tunnels == 1
+        assert report.rekeys == 10
+
+    def test_report_core_equivalents_positive(self):
+        mesh = TunnelMesh("border", rekey_interval=1.0, keepalives_enabled=False)
+        mesh.add_peers(100)
+        report = mesh.advance(until=10.0)
+        assert report.cpu_seconds >= 0.0
+        assert report.core_equivalents == report.cpu_seconds / 10.0
