@@ -120,7 +120,36 @@ class DecisionCache:
         self.policy = policy
         self._rng = rng or random.Random(0)
         self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        #: Secondary index for O(victims) connection teardown instead of a
+        #: full-table scan: (service_id, connection_id) -> keys.
+        self._by_conn: dict[tuple[int, int], set[CacheKey]] = {}
+        #: Random-access view of the key set (swap-with-last removal) so
+        #: RANDOM eviction picks a victim without copying the whole table.
+        self._key_list: list[CacheKey] = []
+        self._key_pos: dict[CacheKey, int] = {}
         self.stats = CacheStats()
+
+    # -- secondary-index maintenance ----------------------------------
+    def _index_add(self, key: CacheKey) -> None:
+        self._by_conn.setdefault(
+            (key.service_id, key.connection_id), set()
+        ).add(key)
+        self._key_pos[key] = len(self._key_list)
+        self._key_list.append(key)
+
+    def _index_discard(self, key: CacheKey) -> None:
+        conn = (key.service_id, key.connection_id)
+        members = self._by_conn.get(conn)
+        if members is not None:
+            members.discard(key)
+            if not members:
+                del self._by_conn[conn]
+        pos = self._key_pos.pop(key, None)
+        if pos is not None:
+            last = self._key_list.pop()
+            if pos < len(self._key_list):
+                self._key_list[pos] = last
+                self._key_pos[last] = pos
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -152,26 +181,33 @@ class DecisionCache:
         while len(self._entries) >= self.capacity:
             self._evict_one()
         self._entries[key] = _Entry(decision=decision, installed_at=now)
+        self._index_add(key)
         self.stats.installs += 1
 
     def invalidate(self, key: CacheKey) -> bool:
         """Remove one entry (service teardown). Returns True if present."""
         if self._entries.pop(key, None) is not None:
+            self._index_discard(key)
             self.stats.invalidations += 1
             return True
         return False
 
     def invalidate_connection(self, service_id: int, connection_id: int) -> int:
-        """Remove all entries for a (service, connection), any source."""
-        victims = [
-            key
-            for key in self._entries
-            if key.service_id == service_id and key.connection_id == connection_id
-        ]
-        for key in victims:
+        """Remove all entries for a (service, connection), any source.
+
+        O(victims) via the secondary index, not a full-table scan — a busy
+        SN tears down connections continuously while the table holds tens of
+        thousands of unrelated entries.
+        """
+        victims = self._by_conn.get((service_id, connection_id))
+        if not victims:
+            return 0
+        count = len(victims)
+        for key in list(victims):
             del self._entries[key]
-        self.stats.invalidations += len(victims)
-        return len(victims)
+            self._index_discard(key)
+        self.stats.invalidations += count
+        return count
 
     def evict_random_fraction(self, fraction: float) -> int:
         """Forcibly evict a fraction of entries.
@@ -180,9 +216,10 @@ class DecisionCache:
         correctness never depends on residency (Appendix B requirement).
         """
         count = int(len(self._entries) * fraction)
-        victims = self._rng.sample(list(self._entries), k=count)
+        victims = self._rng.sample(self._key_list, k=count)
         for key in victims:
             del self._entries[key]
+            self._index_discard(key)
         self.stats.evictions += count
         return count
 
@@ -206,12 +243,13 @@ class DecisionCache:
         if not self._entries:
             return
         if self.policy is EvictionPolicy.RANDOM:
-            key = self._rng.choice(list(self._entries))
+            key = self._key_list[self._rng.randrange(len(self._key_list))]
             del self._entries[key]
         else:
             # LRU keeps recency order; FIFO keeps insertion order. Either
             # way the first item is the right victim.
-            self._entries.popitem(last=False)
+            key, _ = self._entries.popitem(last=False)
+        self._index_discard(key)
         self.stats.evictions += 1
 
     def keys(self) -> list[CacheKey]:

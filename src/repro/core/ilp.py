@@ -59,9 +59,67 @@ class TLV:
     SERVICE_PRIVATE = 0x80  # first service-private type
 
 
+class _TLVMap(dict):
+    """A TLV dict that counts its mutations.
+
+    :meth:`ILPHeader.encode` memoizes the wire form against this version
+    counter, so arbitrary in-place TLV edits (the service modules mutate
+    ``header.tlvs`` directly all over) transparently invalidate the cache
+    without the header wrapping every access.
+    """
+
+    __slots__ = ("_v",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        dict.__init__(self, *args, **kwargs)
+        self._v = 0
+
+    def __reduce__(self):
+        # Rebuild through __init__ (default dict-subclass pickling restores
+        # items before slot state, hitting __setitem__ with no _v yet).
+        return (self.__class__, (dict(self),))
+
+    def __setitem__(self, key, value) -> None:
+        self._v += 1
+        dict.__setitem__(self, key, value)
+
+    def __delitem__(self, key) -> None:
+        self._v += 1
+        dict.__delitem__(self, key)
+
+    def pop(self, *args):
+        self._v += 1
+        return dict.pop(self, *args)
+
+    def popitem(self):
+        self._v += 1
+        return dict.popitem(self)
+
+    def clear(self) -> None:
+        self._v += 1
+        dict.clear(self)
+
+    def update(self, *args, **kwargs) -> None:
+        self._v += 1
+        dict.update(self, *args, **kwargs)
+
+    def setdefault(self, key, default=None):
+        self._v += 1
+        return dict.setdefault(self, key, default)
+
+
+#: Fields whose assignment invalidates a header's cached wire form.
+_WIRE_FIELDS = frozenset(("service_id", "connection_id", "flags", "tlvs"))
+
+
 @dataclass
 class ILPHeader:
-    """Decoded ILP header."""
+    """Decoded ILP header.
+
+    ``encode()`` is memoized: the wire form is cached and invalidated on any
+    field assignment or TLV mutation, so the fast path (N forwarding
+    targets, no TLV rewrites) encodes once and seals N times.
+    """
 
     service_id: int
     connection_id: int
@@ -73,6 +131,23 @@ class ILPHeader:
             raise ILPError(f"service_id out of range: {self.service_id}")
         if not 0 <= self.connection_id < 2**64:
             raise ILPError(f"connection_id out of range: {self.connection_id}")
+
+    def __setattr__(self, name: str, value) -> None:
+        d = self.__dict__
+        if name in _WIRE_FIELDS:
+            d["_wire"] = None
+            if name == "tlvs" and value.__class__ is not _TLVMap:
+                value = _TLVMap(value)
+        d[name] = value
+
+    def __getstate__(self):
+        # The wire memo never crosses pickle/copy: the TLV map's version
+        # counter restarts at 0 on the other side, so a carried-over
+        # (_wire, _wire_v) pair could later alias a mutated map.
+        state = dict(self.__dict__)
+        state.pop("_wire", None)
+        state.pop("_wire_v", None)
+        return state
 
     # -- TLV convenience accessors ------------------------------------
     def set_str(self, tlv_type: int, value: str) -> None:
@@ -106,6 +181,11 @@ class ILPHeader:
 
     # -- wire format ----------------------------------------------------
     def encode(self) -> bytes:
+        tlvs = self.tlvs
+        d = self.__dict__
+        wire = d.get("_wire")
+        if wire is not None and d.get("_wire_v") == tlvs._v:
+            return wire
         parts = [
             struct.pack(
                 _FIXED_FMT,
@@ -115,13 +195,16 @@ class ILPHeader:
                 self.connection_id,
             )
         ]
-        for tlv_type in sorted(self.tlvs):
-            value = self.tlvs[tlv_type]
+        for tlv_type in sorted(tlvs):
+            value = tlvs[tlv_type]
             if len(value) > 0xFFFF:
                 raise ILPError(f"TLV {tlv_type} too long ({len(value)}B)")
             parts.append(struct.pack(_TLV_FMT, tlv_type, len(value)))
             parts.append(value)
-        return b"".join(parts)
+        wire = b"".join(parts)
+        d["_wire"] = wire
+        d["_wire_v"] = tlvs._v
+        return wire
 
     @staticmethod
     def decode(raw: bytes) -> "ILPHeader":
@@ -134,6 +217,8 @@ class ILPHeader:
             raise ILPError(f"unsupported ILP version {version}")
         tlvs: dict[int, bytes] = {}
         offset = _FIXED_SIZE
+        canonical = True
+        prev_type = -1
         while offset < len(raw):
             if offset + _TLV_HEADER > len(raw):
                 raise ILPError("truncated TLV header")
@@ -143,26 +228,47 @@ class ILPHeader:
                 raise ILPError("truncated TLV value")
             tlvs[tlv_type] = raw[offset : offset + length]
             offset += length
-        return ILPHeader(
+            if tlv_type <= prev_type:
+                canonical = False
+            prev_type = tlv_type
+        header = ILPHeader(
             service_id=service_id,
             connection_id=connection_id,
             flags=flags,
             tlvs=tlvs,
         )
+        if canonical:
+            # ``raw`` is already what encode() would produce (TLVs in
+            # canonical sorted order, no duplicates): pre-seed the memo so
+            # the decode -> re-encode fast path never serializes.
+            d = header.__dict__
+            d["_wire"] = raw
+            d["_wire_v"] = header.tlvs._v
+        return header
 
     @property
     def encoded_size(self) -> int:
+        d = self.__dict__
+        wire = d.get("_wire")
+        if wire is not None and d.get("_wire_v") == self.tlvs._v:
+            return len(wire)
         return _FIXED_SIZE + sum(
             _TLV_HEADER + len(value) for value in self.tlvs.values()
         )
 
     def copy(self) -> "ILPHeader":
-        return ILPHeader(
+        dup = ILPHeader(
             service_id=self.service_id,
             connection_id=self.connection_id,
             flags=self.flags,
             tlvs=dict(self.tlvs),
         )
+        d = self.__dict__
+        wire = d.get("_wire")
+        if wire is not None and d.get("_wire_v") == self.tlvs._v:
+            dup.__dict__["_wire"] = wire
+            dup.__dict__["_wire_v"] = dup.tlvs._v
+        return dup
 
 
 def new_connection_id() -> int:

@@ -112,6 +112,10 @@ class ILPPacket:
     payload: Payload
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     created_at: float = 0.0
+    #: Classification hint for egress QoS shapers: the original sending
+    #: host, known to the SN post-decrypt (SRC_HOST TLV) but opaque on the
+    #: wire. Set by the pipe-terminus on egress; None elsewhere.
+    qos_src: Optional[str] = None
 
     @property
     def wire_size(self) -> int:

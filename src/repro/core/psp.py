@@ -50,7 +50,13 @@ class PSPContext:
             raise PSPError("master secret too short")
         self._master = master_secret
         self._epoch = epoch & 0xFF
-        self._keys: dict[int, bytes] = {self._epoch: self._epoch_key(self._epoch)}
+        #: epoch -> ready-to-use subkey schedule. Rotation builds the new
+        #: epoch's schedule exactly once; the per-packet path never derives.
+        self._keys: dict[int, crypto.SealingKey] = {
+            self._epoch: self._epoch_schedule(self._epoch)
+        }
+        self._seal_key = self._keys[self._epoch]
+        self._prefix = bytes([self._epoch])
         self._nonce = crypto.NonceGenerator()
         self.stats = PSPStats()
 
@@ -60,6 +66,9 @@ class PSPContext:
 
     def _epoch_key(self, epoch: int) -> bytes:
         return crypto.derive_key(self._master, "psp-epoch", bytes([epoch]))
+
+    def _epoch_schedule(self, epoch: int) -> crypto.SealingKey:
+        return crypto.sealing_key(self._epoch_key(epoch))
 
     def rotate(self) -> int:
         """Advance to the next epoch; the prior epoch stays accepted.
@@ -73,18 +82,29 @@ class PSPContext:
         self._epoch = (self._epoch + 1) & 0xFF
         self._keys = {
             previous: self._keys[previous],
-            self._epoch: self._epoch_key(self._epoch),
+            self._epoch: self._epoch_schedule(self._epoch),
         }
+        self._seal_key = self._keys[self._epoch]
+        self._prefix = bytes([self._epoch])
         self.stats.rekeys += 1
         return self._epoch
 
     def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
-        """Encrypt an ILP header for the peer."""
+        """Encrypt an ILP header for the peer.
+
+        Single-allocation fast path: the ``epoch || nonce || ct || tag``
+        frame is assembled in one growing buffer via
+        :meth:`crypto.SealingKey.seal_into` (no intermediate
+        ``ciphertext + tag`` copy, no struct call).
+        """
         nonce = self._nonce.next()
-        sealed = crypto.seal(self._keys[self._epoch], nonce, plaintext, aad)
-        self.stats.packets_sealed += 1
-        self.stats.bytes_sealed += len(plaintext)
-        return struct.pack(_HEADER_FMT, self._epoch, nonce) + sealed
+        out = bytearray(self._prefix)
+        out += nonce
+        self._seal_key.seal_into(out, nonce, plaintext, aad)
+        stats = self.stats
+        stats.packets_sealed += 1
+        stats.bytes_sealed += len(plaintext)
+        return bytes(out)
 
     def open(self, blob: bytes, aad: bytes = b"") -> bytes:
         """Decrypt a sealed ILP header from the peer.
@@ -95,18 +115,19 @@ class PSPContext:
         """
         if len(blob) < _HEADER_SIZE + crypto.TAG_SIZE:
             raise PSPError("PSP blob too short")
-        epoch, nonce = struct.unpack_from(_HEADER_FMT, blob)
-        key = self._keys.get(epoch)
-        if key is None:
+        epoch = blob[0]
+        nonce = blob[1:_HEADER_SIZE]
+        schedule = self._keys.get(epoch)
+        if schedule is None:
             # A peer may be one epoch ahead of us; derive forward once.
             if epoch == ((self._epoch + 1) & 0xFF):
-                key = self._epoch_key(epoch)
-                self._keys[epoch] = key
+                schedule = self._epoch_schedule(epoch)
+                self._keys[epoch] = schedule
             else:
                 self.stats.auth_failures += 1
                 raise PSPError(f"unknown PSP epoch {epoch}")
         try:
-            plaintext = crypto.open_sealed(key, nonce, blob[_HEADER_SIZE:], aad)
+            plaintext = schedule.open(nonce, blob[_HEADER_SIZE:], aad)
         except crypto.CryptoError as exc:
             self.stats.auth_failures += 1
             raise PSPError("PSP authentication failed") from exc

@@ -113,7 +113,7 @@ class EgressShaper:
         marked = getattr(packet, "qos_class", None)
         if marked is not None:
             return marked if marked in self.scheduler.flows() else DEFAULT_CLASS
-        source = getattr(packet, "qos_src", None) or packet.l3.src
+        source = packet.qos_src or packet.l3.src
         try:
             addr = ipaddress.IPv4Address(source)
         except ValueError:

@@ -1,0 +1,140 @@
+"""Property: ILPHeader.encode() memoization is observably transparent.
+
+The wire-form memo (invalidated by field assignment and TLV mutation via
+the version-counting TLV map) must never change what ``encode()`` returns:
+after ANY sequence of set/mutate/delete/copy/encode operations, the bytes
+must equal those of a freshly constructed header with the same final state,
+and must round-trip through ``decode``.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ilp import Flags, ILPHeader
+
+tlv_types = st.integers(min_value=0, max_value=0xFF)
+tlv_values = st.binary(min_size=0, max_size=64)
+
+# One mutation step: (op, args). Applied in order to a header under test
+# and mirrored into a plain-dict model of the expected final state.
+operations = st.one_of(
+    st.tuples(st.just("set"), tlv_types, tlv_values),
+    st.tuples(st.just("del"), tlv_types),
+    st.tuples(st.just("pop"), tlv_types),
+    st.tuples(st.just("update"), st.dictionaries(tlv_types, tlv_values, max_size=4)),
+    st.tuples(st.just("setdefault"), tlv_types, tlv_values),
+    st.tuples(st.just("clear")),
+    st.tuples(st.just("flags"), st.integers(min_value=0, max_value=0xFF)),
+    st.tuples(st.just("service_id"), st.integers(min_value=0, max_value=0xFFFF)),
+    st.tuples(st.just("connection_id"), st.integers(min_value=0, max_value=2**64 - 1)),
+    st.tuples(st.just("encode")),  # interleaved encodes populate the memo
+    st.tuples(st.just("copy")),  # continue on a copy (memo carried over)
+    st.tuples(st.just("assign_tlvs"), st.dictionaries(tlv_types, tlv_values, max_size=4)),
+)
+
+
+def _fresh_encode(header: ILPHeader) -> bytes:
+    """What a never-memoized implementation would produce."""
+    return ILPHeader(
+        service_id=header.service_id,
+        connection_id=header.connection_id,
+        flags=header.flags,
+        tlvs=dict(header.tlvs),
+    ).encode()
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    service_id=st.integers(min_value=0, max_value=0xFFFF),
+    connection_id=st.integers(min_value=0, max_value=2**64 - 1),
+    initial=st.dictionaries(tlv_types, tlv_values, max_size=6),
+    ops=st.lists(operations, max_size=20),
+)
+def test_memoized_encode_equals_fresh_encode(service_id, connection_id, initial, ops):
+    header = ILPHeader(
+        service_id=service_id, connection_id=connection_id, tlvs=dict(initial)
+    )
+    for op in ops:
+        kind = op[0]
+        if kind == "set":
+            header.tlvs[op[1]] = op[2]
+        elif kind == "del":
+            if op[1] in header.tlvs:
+                del header.tlvs[op[1]]
+        elif kind == "pop":
+            header.tlvs.pop(op[1], None)
+        elif kind == "update":
+            header.tlvs.update(op[1])
+        elif kind == "setdefault":
+            header.tlvs.setdefault(op[1], op[2])
+        elif kind == "clear":
+            header.tlvs.clear()
+        elif kind == "flags":
+            header.flags = op[1]
+        elif kind == "service_id":
+            header.service_id = op[1]
+        elif kind == "connection_id":
+            header.connection_id = op[1]
+        elif kind == "encode":
+            header.encode()
+        elif kind == "copy":
+            header = header.copy()
+        elif kind == "assign_tlvs":
+            header.tlvs = op[1]
+        # After every step, the memoized encode must match a fresh one.
+        assert header.encode() == _fresh_encode(header)
+        assert header.encoded_size == len(header.encode())
+
+    # Stability: repeated encodes are identical (and the memo is hit).
+    assert header.encode() == header.encode()
+    decoded = ILPHeader.decode(header.encode())
+    assert decoded.service_id == header.service_id
+    assert decoded.connection_id == header.connection_id
+    assert decoded.flags == header.flags
+    assert dict(decoded.tlvs) == dict(header.tlvs)
+    assert decoded.encode() == header.encode()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    initial=st.dictionaries(tlv_types, tlv_values, max_size=6),
+    post=st.dictionaries(tlv_types, tlv_values, max_size=4),
+)
+def test_memo_does_not_leak_through_pickle_or_copy(initial, post):
+    """A header that crosses pickle/copy (the IPC channel marshals headers)
+    must stay correct even when mutated on the far side."""
+    for clone_of in (
+        lambda h: pickle.loads(pickle.dumps(h)),
+        copy.copy,  # NB: shares the TLV map with the original, as any
+        # shallow copy of a dict-holding dataclass does
+        copy.deepcopy,
+        lambda h: h.copy(),
+    ):
+        header = ILPHeader(service_id=7, connection_id=9, tlvs=dict(initial))
+        header.encode()  # populate the memo
+        clone = clone_of(header)
+        assert clone.encode() == header.encode()
+        for k, v in post.items():
+            clone.tlvs[k] = v
+        # Memoization stays transparent on the clone even after mutation...
+        assert clone.encode() == _fresh_encode(clone)
+        # ...and on the original, whether or not the clone aliases its map.
+        assert header.encode() == _fresh_encode(header)
+
+
+def test_decode_preseeds_memo_only_when_canonical():
+    h = ILPHeader(service_id=1, connection_id=2, flags=Flags.FIRST)
+    h.tlvs[3] = b"c"
+    h.tlvs[1] = b"a"
+    wire = h.encode()
+    decoded = ILPHeader.decode(wire)
+    # Canonical wire (encode() sorts TLVs): memo pre-seeded with the input.
+    assert decoded.encode() is wire
+    # Mutation invalidates the pre-seeded memo.
+    decoded.tlvs[2] = b"b"
+    assert decoded.encode() != wire
+    assert decoded.encode() == _fresh_encode(decoded)

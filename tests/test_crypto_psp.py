@@ -94,6 +94,48 @@ class TestNonceGenerator:
         nonces = {gen.next() for _ in range(1000)}
         assert len(nonces) == 1000
 
+    def test_exhaustion_raises_at_wraparound(self):
+        gen = crypto.NonceGenerator(start=2**64 - 2)
+        assert gen.next() == b"\xff" * 8  # the last valid counter value
+        with pytest.raises(crypto.CryptoError):
+            gen.next()
+
+    def test_exhausted_generator_stays_exhausted(self):
+        gen = crypto.NonceGenerator(start=2**64 - 1)
+        for _ in range(3):
+            with pytest.raises(crypto.CryptoError):
+                gen.next()
+
+
+class TestSealingKeySchedule:
+    def test_schedule_matches_module_functions(self):
+        key = crypto.random_key()
+        nonce = crypto.NonceGenerator().next()
+        sk = crypto.SealingKey(key)
+        blob = sk.seal(nonce, b"hello", aad=b"a")
+        assert blob == crypto.seal(key, nonce, b"hello", aad=b"a")
+        assert sk.open(nonce, blob, aad=b"a") == b"hello"
+
+    def test_schedule_cache_returns_same_object(self):
+        key = crypto.random_key()
+        assert crypto.sealing_key(key) is crypto.sealing_key(key)
+
+    def test_seal_into_appends_in_place(self):
+        key = crypto.random_key()
+        nonce = crypto.NonceGenerator().next()
+        sk = crypto.sealing_key(key)
+        out = bytearray(b"prefix")
+        sk.seal_into(out, nonce, b"payload")
+        assert bytes(out[:6]) == b"prefix"
+        assert crypto.open_sealed(key, nonce, bytes(out[6:])) == b"payload"
+
+    def test_bad_nonce_length_rejected(self):
+        sk = crypto.SealingKey(crypto.random_key())
+        with pytest.raises(crypto.CryptoError):
+            sk.seal(b"short", b"x")
+        with pytest.raises(crypto.CryptoError):
+            sk.seal_into(bytearray(), b"toolongnonce", b"x")
+
 
 class TestPSPContext:
     def _pair(self):
@@ -159,6 +201,65 @@ class TestPSPContext:
         secret = pairwise_secret("a.example", "b.example", realm=b"test")
         ctx = PSPContext(secret, epoch=255)
         assert ctx.rotate() == 0
+
+
+class TestEpochRotationEdgeCases:
+    """Wraparound, forward derivation, and rejection boundaries."""
+
+    def _pair(self, epoch: int = 0):
+        secret = pairwise_secret("10.0.0.1", "10.0.0.2")
+        return PSPContext(secret, epoch=epoch), PSPContext(secret, epoch=epoch)
+
+    def test_wraparound_traffic_flows_across_0xff_to_0x00(self):
+        """Rotation across the 0xFF→0x00 boundary behaves like any other."""
+        a, b = self._pair(epoch=0xFF)
+        before = a.seal(b"sealed at 0xff")
+        assert a.rotate() == 0x00
+        after = a.seal(b"sealed at 0x00")
+        # Receiver still at 0xFF: 0x00 is its (epoch+1) & 0xFF, derived forward.
+        assert b.open(after) == b"sealed at 0x00"
+        assert b.open(before) == b"sealed at 0xff"
+
+    def test_wraparound_receiver_rotated_first(self):
+        a, b = self._pair(epoch=0xFF)
+        b.rotate()  # receiver at 0x00, still accepts 0xFF
+        assert b.open(a.seal(b"late 0xff packet")) == b"late 0xff packet"
+
+    def test_forward_derivation_caches_the_key(self):
+        a, b = self._pair()
+        a.rotate()
+        assert b.open(a.seal(b"first")) == b"first"
+        assert (a.epoch) in b._keys  # derived once, retained
+        schedule = b._keys[a.epoch]
+        assert b.open(a.seal(b"second")) == b"second"
+        assert b._keys[a.epoch] is schedule  # not re-derived
+
+    def test_two_epochs_ahead_rejected(self):
+        a, b = self._pair()
+        a.rotate()
+        a.rotate()  # a is now two ahead of b
+        blob = a.seal(b"too far ahead")
+        with pytest.raises(PSPError, match="unknown PSP epoch"):
+            b.open(blob)
+        assert b.stats.auth_failures == 1
+        # The rejected epoch must not have been cached.
+        assert a.epoch not in b._keys
+
+    def test_two_behind_rejected_after_double_rotation(self):
+        """The receiver only keeps current + previous epochs."""
+        a, b = self._pair()
+        stale = a.seal(b"epoch 0")
+        for _ in range(2):
+            a.rotate()
+            b.rotate()
+        with pytest.raises(PSPError):
+            b.open(stale)
+
+    def test_rotation_builds_schedule_once(self):
+        a, _ = self._pair()
+        a.rotate()
+        assert a._keys[a.epoch] is a._seal_key
+        assert len(a._keys) == 2  # current + previous only, forever
 
 
 class TestPairwiseSecret:

@@ -153,3 +153,64 @@ class TestActivityAPI:
         cache = DecisionCache()
         cache.install(key(1), Decision.drop(), now=0.0)
         assert not cache.recently_used(key(1), now=0.0, window=100.0)
+
+
+class TestConnectionIndex:
+    """The (service_id, connection_id) secondary index stays in sync with
+    the table through installs, evictions, and invalidations."""
+
+    def _assert_index_consistent(self, cache: DecisionCache) -> None:
+        indexed = {k for members in cache._by_conn.values() for k in members}
+        assert indexed == set(cache._entries)
+        assert set(cache._key_list) == set(cache._entries)
+        assert len(cache._key_list) == len(cache._entries)
+        assert all(
+            cache._key_list[pos] == k for k, pos in cache._key_pos.items()
+        )
+        # No empty index buckets are retained.
+        assert all(members for members in cache._by_conn.values())
+
+    def test_index_tracks_install_and_invalidate(self):
+        cache = DecisionCache(capacity=64)
+        for i in range(20):
+            cache.install(key(i), Decision.drop())
+        self._assert_index_consistent(cache)
+        for i in range(0, 20, 2):
+            cache.invalidate(key(i))
+        self._assert_index_consistent(cache)
+        assert len(cache) == 10
+
+    def test_index_survives_capacity_eviction(self):
+        for policy in EvictionPolicy:
+            cache = DecisionCache(capacity=8, policy=policy)
+            for i in range(50):
+                cache.install(key(i), Decision.drop())
+            self._assert_index_consistent(cache)
+            assert len(cache) == 8
+
+    def test_index_survives_random_fraction_eviction(self):
+        cache = DecisionCache(capacity=128)
+        for i in range(100):
+            cache.install(key(i), Decision.drop())
+        cache.evict_random_fraction(0.37)
+        self._assert_index_consistent(cache)
+
+    def test_invalidate_connection_uses_index(self):
+        cache = DecisionCache()
+        for src in ("10.0.0.1", "10.0.0.2", "10.0.0.3"):
+            cache.install(CacheKey(src, 5, 99), Decision.drop())
+        for i in range(100):
+            cache.install(key(i), Decision.drop())
+        assert cache.invalidate_connection(5, 99) == 3
+        assert cache.invalidate_connection(5, 99) == 0
+        self._assert_index_consistent(cache)
+        assert len(cache) == 100
+
+    def test_reinstall_does_not_duplicate_index(self):
+        cache = DecisionCache()
+        cache.install(key(1), Decision.drop())
+        cache.install(key(1), Decision.forward("10.0.0.9"))
+        self._assert_index_consistent(cache)
+        assert cache.invalidate_connection(1, 1) == 1
+        self._assert_index_consistent(cache)
+        assert len(cache) == 0

@@ -210,3 +210,113 @@ class TestEvictionCorrectness:
         fx.terminus.receive(fx.packet())
         assert len(fx.sent) == 2  # both packets forwarded
         assert len(fx.service.seen) == 2  # service recomputed after eviction
+
+
+class TestBatchIngress:
+    """receive_batch: amortized clock/stats/delay bookkeeping, same semantics."""
+
+    def _install_forward(self, fx, conn=7):
+        fx.terminus.cache.install(CacheKey(PEER_A, 42, conn), Decision.forward(PEER_B))
+
+    def test_batch_equals_per_packet_receive(self):
+        fx_one = _Fixture()
+        fx_batch = _Fixture()
+        for fx in (fx_one, fx_batch):
+            self._install_forward(fx)
+        packets_one = [fx_one.packet() for _ in range(10)]
+        packets_batch = [fx_batch.packet() for _ in range(10)]
+
+        for pkt in packets_one:
+            fx_one.terminus.receive(pkt)
+        assert fx_batch.terminus.receive_batch(packets_batch) == 10
+
+        assert len(fx_batch.sent) == len(fx_one.sent) == 10
+        for (peer_a, out_a), (peer_b, out_b) in zip(fx_one.sent, fx_batch.sent):
+            assert peer_a == peer_b == PEER_B
+            assert out_a.payload.data == out_b.payload.data
+        s1, s2 = fx_one.terminus.stats, fx_batch.terminus.stats
+        assert (s1.packets_in, s1.fast_path, s1.packets_out) == (
+            s2.packets_in,
+            s2.fast_path,
+            s2.packets_out,
+        ) == (10, 10, 10)
+
+    def test_batch_mixes_fast_and_slow_paths(self):
+        fx = _Fixture()
+        self._install_forward(fx, conn=7)
+        batch = [
+            fx.packet(conn=7),        # fast path
+            fx.packet(conn=8),        # miss -> punt (service drops)
+            fx.packet(flags=Flags.CONTROL),  # control -> punt
+            fx.packet(conn=7),        # fast path again
+        ]
+        assert fx.terminus.receive_batch(batch) == 4
+        stats = fx.terminus.stats
+        assert stats.packets_in == 4
+        assert stats.fast_path == 2
+        assert stats.punts == 2
+        assert len(fx.sent) == 2
+
+    def test_batch_charges_terminus_delay_once(self):
+        fx = _Fixture()
+        self._install_forward(fx)
+        fx.terminus.receive_batch([fx.packet() for _ in range(5)])
+        assert fx.terminus.pending_delay == fx.terminus.cost_model.terminus_latency
+
+    def test_empty_batch(self):
+        fx = _Fixture()
+        assert fx.terminus.receive_batch([]) == 0
+        assert fx.terminus.stats.packets_in == 0
+
+
+class TestPreEncodedSend:
+    def test_send_with_precomputed_encoding(self):
+        fx = _Fixture()
+        header = ILPHeader(service_id=42, connection_id=7)
+        header.set_str(TLV.SRC_HOST, "192.168.0.5")
+        encoded = header.encode()
+        assert fx.terminus.send(PEER_B, header, make_payload(b"d"), encoded=encoded)
+        peer, out = fx.sent[0]
+        assert peer == PEER_B
+        # The receiver opens to exactly the provided encoding.
+        rx = PSPContext(pairwise_secret(SN_ADDR, PEER_B))
+        assert rx.open(out.ilp_wire) == encoded
+
+    def test_qos_src_is_a_declared_field(self):
+        fx = _Fixture()
+        header = ILPHeader(service_id=42, connection_id=7)
+        header.set_str(TLV.SRC_HOST, "192.168.0.5")
+        fx.terminus.send(PEER_B, header, make_payload(b"d"))
+        _, out = fx.sent[0]
+        assert out.qos_src == "192.168.0.5"
+        # And defaults to None on freshly built packets.
+        assert fx.packet().qos_src is None
+
+    def test_fanout_encodes_once(self):
+        fx = _Fixture()
+        encode_calls = 0
+        header = ILPHeader(service_id=42, connection_id=7)
+        original_encode = ILPHeader.encode
+
+        fx.terminus.cache.install(
+            CacheKey(PEER_A, 42, 7),
+            Decision(
+                action=Action.FORWARD,
+                targets=(ForwardTarget(PEER_A), ForwardTarget(PEER_B)),
+            ),
+        )
+        pkt = fx.packet()
+
+        def counting_encode(self):
+            nonlocal encode_calls
+            encode_calls += 1
+            return original_encode(self)
+
+        ILPHeader.encode = counting_encode
+        try:
+            fx.terminus.receive(pkt)
+        finally:
+            ILPHeader.encode = original_encode
+        assert [p for p, _ in fx.sent] == [PEER_A, PEER_B]
+        # _apply_decision encodes once; send() reuses the provided bytes.
+        assert encode_calls == 1
