@@ -1,0 +1,217 @@
+"""Terminus flow-run batching benchmark: per-packet vs batched forwarding.
+
+PR 1 made seal/open ~3.8× faster, leaving per-packet overhead *around* the
+crypto (object construction, repeated decision-cache lookups for the same
+flow, per-packet simulator events) as the dominant cost of
+``terminus_forward``. The flow-run batched pipeline amortizes that work
+over runs of same-flow packets; this module measures the gap and guards
+it in CI:
+
+* ``terminus_forward`` per-packet vs ``receive_batch`` pps on a
+  flow-local burst, with the **relative** regression gate
+  ``batched ≥ 2× per-packet`` (same run, same machine — container speed
+  cannot flake it);
+* a flow-locality sweep (1, 8, 64 flows per burst, contiguous blocks) plus
+  the fully interleaved worst case (every run has length 1);
+* the netsim burst-delivery event count: a back-to-back burst crosses a
+  link as one coalesced simulator event instead of one event per frame.
+
+``BENCH_terminus.json`` is written at the repo root so the perf
+trajectory stays comparable across PRs (next to ``BENCH_crypto.json``).
+
+Run directly:
+    PYTHONPATH=src python -m pytest benchmarks/test_terminus_pipeline.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.decision_cache import CacheKey, Decision
+from repro.core.ilp import ILPHeader, TLV
+from repro.core.packet import ILPPacket, L3Header, make_payload
+from repro.core.psp import PSPContext, pairwise_secret
+from repro.core.service_node import ServiceNode
+from repro.netsim import Simulator
+
+_RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_terminus.json"
+_results: dict[str, dict] = {}
+
+SN_ADDR = "10.0.0.1"
+INGRESS = "10.0.0.2"
+EGRESS = "10.0.0.3"
+BURST = 1024
+
+
+def _make_rig():
+    """An SN whose terminus transmits into a counting sink."""
+    sim = Simulator()
+    node = ServiceNode(sim, "sn", SN_ADDR)
+    delivered = [0]
+
+    def sink(peer: str, packet: ILPPacket) -> bool:
+        delivered[0] += 1
+        return True
+
+    node.terminus._transmit = sink
+    secret_in = pairwise_secret(SN_ADDR, INGRESS)
+    node.keystore.establish(INGRESS, secret_in)
+    node.keystore.establish(EGRESS, pairwise_secret(SN_ADDR, EGRESS))
+    return node, PSPContext(secret_in), delivered
+
+
+def _header_bytes(conn: int) -> bytes:
+    h = ILPHeader(service_id=2, connection_id=conn)
+    h.set_str(TLV.DEST_ADDR, "192.168.0.77")
+    h.set_str(TLV.SRC_HOST, "192.168.0.12")
+    return h.encode()
+
+
+def _flow_local_burst(tx: PSPContext, flows: int, interleaved: bool = False):
+    """A burst of ``BURST`` packets over ``flows`` connections.
+
+    Contiguous per-flow blocks by default (runs of ``BURST/flows``);
+    ``interleaved`` round-robins the flows so every run has length 1.
+    """
+    payload = make_payload(b"x" * 64)
+    headers = [_header_bytes(conn) for conn in range(1, flows + 1)]
+    if interleaved:
+        order = [headers[i % flows] for i in range(BURST)]
+    else:
+        per_flow = BURST // flows
+        order = [h for h in headers for _ in range(per_flow)]
+    return [
+        ILPPacket(
+            l3=L3Header(src=INGRESS, dst=SN_ADDR),
+            ilp_wire=tx.seal(h),
+            payload=payload,
+        )
+        for h in order
+    ]
+
+
+def _measure_pps(process, make_burst, min_seconds: float = 0.3) -> float:
+    process(make_burst())  # warm schedules/memos outside the timed region
+    total = 0
+    elapsed = 0.0
+    while elapsed < min_seconds:
+        burst = make_burst()
+        t0 = time.perf_counter()
+        process(burst)
+        elapsed += time.perf_counter() - t0
+        total += len(burst)
+    return total / elapsed
+
+
+def test_batched_vs_per_packet_forward():
+    """The CI regression gate: batched ≥ 2× per-packet, same run."""
+    node, tx, _ = _make_rig()
+    for conn in range(1, 65):
+        node.cache.install(
+            CacheKey(INGRESS, 2, conn), Decision.forward(EGRESS)
+        )
+    terminus = node.terminus
+    receive = terminus.receive
+
+    def per_packet(burst):
+        for packet in burst:
+            receive(packet)
+
+    per_packet_pps = _measure_pps(
+        per_packet, lambda: _flow_local_burst(tx, flows=1)
+    )
+    batched_pps = _measure_pps(
+        terminus.receive_batch, lambda: _flow_local_burst(tx, flows=1)
+    )
+    speedup = batched_pps / per_packet_pps
+    _results["terminus_forward"] = {
+        "per_packet_pps": round(per_packet_pps, 1),
+        "batched_pps": round(batched_pps, 1),
+        "speedup": round(speedup, 2),
+        "burst": BURST,
+        "us_per_op_batched": round(1e6 / batched_pps, 3),
+    }
+    assert terminus.stats.drops_auth == 0
+    assert terminus.stats.packets_out == terminus.stats.packets_in
+    assert speedup >= 2.0, (
+        f"flow-run batching gained only {speedup:.2f}x over per-packet "
+        f"({batched_pps:.0f} vs {per_packet_pps:.0f} pps); gate is 2x"
+    )
+
+
+def test_flow_locality_sweep():
+    """Batched pps vs run length: 1, 8, 64 flows/burst + interleaved."""
+    sweep = {}
+    for flows in (1, 8, 64):
+        node, tx, _ = _make_rig()
+        for conn in range(1, flows + 1):
+            node.cache.install(
+                CacheKey(INGRESS, 2, conn), Decision.forward(EGRESS)
+            )
+        pps = _measure_pps(
+            node.terminus.receive_batch,
+            lambda: _flow_local_burst(tx, flows=flows),
+            min_seconds=0.2,
+        )
+        sweep[str(flows)] = {
+            "pps": round(pps, 1),
+            "run_length": BURST // flows,
+        }
+        assert node.terminus.stats.packets_out == node.terminus.stats.packets_in
+
+    # Worst case: fully interleaved 64 flows, every run is one packet long.
+    node, tx, _ = _make_rig()
+    for conn in range(1, 65):
+        node.cache.install(
+            CacheKey(INGRESS, 2, conn), Decision.forward(EGRESS)
+        )
+    pps = _measure_pps(
+        node.terminus.receive_batch,
+        lambda: _flow_local_burst(tx, flows=64, interleaved=True),
+        min_seconds=0.2,
+    )
+    sweep["64_interleaved"] = {"pps": round(pps, 1), "run_length": 1}
+    _results["flow_locality"] = sweep
+
+    # Longer runs must never be slower than shorter ones (monotone gain).
+    assert sweep["1"]["pps"] >= sweep["64"]["pps"] * 0.9
+
+
+def test_netsim_burst_delivery_events():
+    """A back-to-back burst crosses a link as one delivery event."""
+    sim = Simulator()
+    sn_a = ServiceNode(sim, "a", "10.0.0.1")
+    sn_b = ServiceNode(sim, "b", "10.0.0.2")
+    sn_a.establish_pipe(sn_b)
+    header = ILPHeader(service_id=2, connection_id=9)
+    payload = make_payload(b"burst")
+    frames = 256
+    for _ in range(frames):
+        sn_a.emit(sn_b.address, header, payload)
+    events = sim.run_until_idle()
+    assert sn_b.terminus.stats.packets_in == frames
+    _results["netsim_burst"] = {
+        "frames": frames,
+        "delivery_events": events,
+        "frames_per_event": round(frames / events, 1),
+    }
+    assert events == 1, (
+        f"burst of {frames} frames took {events} delivery events; "
+        "coalescing should schedule exactly one"
+    )
+
+
+def teardown_module(module):
+    if not _results:
+        return
+    _results["meta"] = {
+        "note": "ops on one core of this container; header = 2-TLV ILP header",
+        "burst": BURST,
+    }
+    _RESULTS_PATH.write_text(json.dumps(_results, indent=2) + "\n")
+    print(f"\nwrote {_RESULTS_PATH}")
+    for name in ("terminus_forward", "flow_locality", "netsim_burst"):
+        if name in _results:
+            print(f"  {name}: {_results[name]}")

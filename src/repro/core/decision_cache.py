@@ -33,7 +33,7 @@ class Action(enum.Enum):
     DROP = "drop"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheKey:
     src: str
     service_id: int
@@ -54,7 +54,7 @@ class ForwardTarget:
     tlv_updates: tuple[tuple[int, bytes], ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision:
     action: Action
     targets: tuple[ForwardTarget, ...] = ()
@@ -169,6 +169,35 @@ class DecisionCache:
         if self.policy is EvictionPolicy.LRU:
             self._entries.move_to_end(key)
         self.stats.hits += 1
+        return entry.decision
+
+    def lookup_run(
+        self, key: CacheKey, count: int, now: float = 0.0
+    ) -> Optional[Decision]:
+        """Query once for a run of ``count`` packets sharing ``key``.
+
+        On a hit, bookkeeping is identical to ``count`` scalar
+        :meth:`lookup` calls — ``count`` stat lookups/hits, ``count`` entry
+        hits, one ``last_hit_at`` stamp, one LRU touch (moving the same key
+        ``count`` times equals moving it once) — but the table is probed a
+        single time.
+
+        On a miss, *nothing* is counted and ``None`` is returned: the first
+        packet of a cold run may install the decision the rest of the run
+        then hits, so the caller must replay the run per-packet through
+        scalar lookups (which count themselves). That keeps run-batched
+        stats byte-for-byte equal to the per-packet path.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        stats = self.stats
+        stats.lookups += count
+        stats.hits += count
+        entry.hits += count
+        entry.last_hit_at = now
+        if self.policy is EvictionPolicy.LRU:
+            self._entries.move_to_end(key)
         return entry.decision
 
     def install(self, key: CacheKey, decision: Decision, now: float = 0.0) -> None:

@@ -40,6 +40,11 @@ class Flags:
     LAST = 0x04  # sender believes the connection is finished
     MORE_HEADER = 0x08  # setup info continues in subsequent packets (§B.2)
 
+    #: Mask of flags that force the slow path: CONTROL is not data, and the
+    #: service must see LAST to tear down state (a fast-path hit would hide
+    #: it). The terminus tests this once per packet / per flow run.
+    SLOW_PATH = CONTROL | LAST
+
 
 class TLV:
     """Well-known TLV types. Services may define their own ≥ 0x80."""

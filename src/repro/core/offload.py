@@ -108,12 +108,18 @@ class OffloadQuota:
     max_meters: int = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OffloadResult:
     """What the engine decided for a packet (None kind = no match)."""
 
     kind: Optional[ActionKind]
     peer: Optional[str] = None
+
+
+#: Shared no-match result: ``process`` returns this for every packet that no
+#: rule claims, so the (very common) fall-through allocates nothing.
+_NO_MATCH = OffloadResult(kind=None)
+_DROP = OffloadResult(kind=ActionKind.DROP)
 
 
 class TerminusOffloadEngine:
@@ -158,6 +164,15 @@ class TerminusOffloadEngine:
     def remove_program(self, service_id: int) -> None:
         self._programs.pop(service_id, None)
 
+    def has_program(self, service_id: int) -> bool:
+        """Cheap datapath guard: does any program exist for this service?
+
+        The terminus checks this before :meth:`process` so that services
+        with nothing offloaded (the overwhelmingly common case) cost one
+        dict probe per *run* instead of a full engine call per packet.
+        """
+        return service_id in self._programs
+
     # -- datapath -----------------------------------------------------------
     def process(
         self,
@@ -173,7 +188,7 @@ class TerminusOffloadEngine:
         """
         program = self._programs.get(header.service_id)
         if program is None:
-            return OffloadResult(kind=None)
+            return _NO_MATCH
         for rule in program.rules:
             if not rule.matches_packet(src, header, payload_len):
                 continue
@@ -189,14 +204,14 @@ class TerminusOffloadEngine:
                 if meter.try_consume(payload_len, now):
                     continue  # within rate: fall through
                 self.offload_drops += 1
-                return OffloadResult(kind=ActionKind.DROP)
+                return _DROP
             if action.kind is ActionKind.DROP:
                 self.offload_drops += 1
-                return OffloadResult(kind=ActionKind.DROP)
+                return _DROP
             if action.kind is ActionKind.FORWARD:
                 self.offload_hits += 1
                 return OffloadResult(kind=ActionKind.FORWARD, peer=action.operand)
-        return OffloadResult(kind=None)
+        return _NO_MATCH
 
     def stats(self) -> dict[int, dict[str, Any]]:
         return {

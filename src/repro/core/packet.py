@@ -44,7 +44,7 @@ def normalize_address(address: str) -> str:
         raise PacketError(f"invalid address {address!r}") from exc
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class L3Header:
     """Outer IP header (the only part the legacy underlay looks at)."""
 
@@ -68,7 +68,7 @@ class L3Header:
         return replace(self, src=self.dst, dst=self.src)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class L4Header:
     """Endpoint transport header; opaque to SNs, modeled for end hosts."""
 
@@ -82,7 +82,7 @@ class L4Header:
                 raise PacketError(f"invalid port {port}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Payload:
     """The end-to-end portion: L4 header + application bytes.
 
@@ -98,7 +98,7 @@ class Payload:
         return (L4_HEADER_SIZE if self.l4 is not None else 0) + len(self.data)
 
 
-@dataclass
+@dataclass(slots=True)
 class ILPPacket:
     """A packet traveling between ILP speakers (host↔SN or SN↔SN).
 

@@ -13,6 +13,28 @@ Every packet entering an SN hits the pipe-terminus, which:
 
 The terminus is deliberately free of service logic; it is the part the
 paper expects to land in switch ASICs eventually (Appendix B.1).
+
+Flow-run batching
+-----------------
+
+:meth:`PipeTerminus.receive_batch` processes a burst the way the paper's
+ASIC terminus would pipeline it: one decrypt pass over the burst
+(:meth:`~repro.core.psp.PSPContext.open_batch` per same-peer span), then
+consecutive packets carrying the *same* plaintext header from the same
+peer form a **flow run** that is decoded once, looked up in the decision
+cache once (:meth:`~repro.core.decision_cache.DecisionCache.lookup_run`),
+header-encoded once, and sealed/transmitted via :meth:`send_run` with the
+sealing-key schedule hoisted out of the per-packet loop. Everything
+observable — stats, cache contents, transmitted wire bytes and their
+order — is identical to calling :meth:`receive` per packet: cold runs
+(cache miss) replay per-packet because the first packet's punt may
+install the decision the rest of the run then hits, and CONTROL/LAST
+packets still punt individually with a fresh header each (services may
+retain or mutate what they are handed).
+
+Like the ASIC pipeline it models, the batched decrypt assumes a slow-path
+verdict does not retire the PSP association of packets already in flight
+within the same burst.
 """
 
 from __future__ import annotations
@@ -30,6 +52,9 @@ from .service_module import ServiceError, Verdict
 
 if TYPE_CHECKING:  # pragma: no cover
     from .execution_env import ExecutionEnvironment
+
+#: Sentinel for "caller did not precompute qos_src" (None is a valid value).
+_QOS_UNSET = object()
 
 
 @dataclass
@@ -88,25 +113,65 @@ class PipeTerminus:
     def receive_batch(self, packets) -> int:
         """Process a burst of packets arriving back-to-back.
 
-        The batch ingress amortizes per-packet bookkeeping across the burst:
-        the clock is read once, and the terminus processing delay is charged
-        once per batch rather than per packet (the paper's ASIC terminus
-        pipelines a burst for exactly this reason; slow-path punts inside
-        the batch still add their own invocation latency). Semantics are
-        otherwise identical to calling :meth:`receive` per packet.
+        The batch ingress amortizes work at two levels. Per burst: the
+        clock is read once and the terminus processing delay is charged
+        once (slow-path punts inside the batch still add their own
+        invocation latency). Per flow run — consecutive packets from one
+        peer carrying identical header plaintext: one decode, one
+        decision-cache lookup, one header encode, one ``qos_src``
+        extraction, and a schedule-hoisted seal/transmit loop. Semantics
+        are identical to calling :meth:`receive` per packet (see module
+        docstring for the equivalence argument).
 
         Returns the number of packets processed.
         """
+        if not isinstance(packets, list):
+            packets = list(packets)
         now = self._clock()
         self.pending_delay = self.cost_model.terminus_latency
         stats = self.stats
-        ingress_one = self._ingress_one
-        count = 0
-        for packet in packets:
-            count += 1
-            ingress_one(packet, now)
-        stats.packets_in += count
-        return count
+        contexts = self.keystore.contexts
+        n_in = len(packets)
+
+        # Pass 1 — decrypt: one open_batch per consecutive same-peer span.
+        peers: list[str] = []
+        plains: list[Optional[bytes]] = []
+        extend = plains.extend
+        i = 0
+        while i < n_in:
+            peer = packets[i].l3.src
+            j = i + 1
+            while j < n_in and packets[j].l3.src == peer:
+                j += 1
+            peers.extend([peer] * (j - i))
+            ctx = contexts.get(peer)
+            if ctx is None:
+                stats.drops_no_peer += j - i
+                extend([None] * (j - i))
+            else:
+                opened = ctx.open_batch([p.ilp_wire for p in packets[i:j]])
+                stats.drops_auth += sum(1 for pt in opened if pt is None)
+                extend(opened)
+            i = j
+
+        # Pass 2 — group flow runs (same peer, identical plaintext) and
+        # process each run with amortized decode/lookup/encode/seal.
+        process_run = self._process_run
+        i = 0
+        while i < n_in:
+            plain = plains[i]
+            if plain is None:
+                i += 1
+                continue
+            peer = peers[i]
+            j = i + 1
+            while j < n_in and plains[j] == plain and peers[j] == peer:
+                j += 1
+            process_run(peer, plain, packets[i:j], now)
+            i = j
+
+        stats.packets_in += n_in
+        return n_in
 
     def _ingress_one(self, packet: ILPPacket, now: float) -> None:
         """Decrypt → decode → cache/offload/punt for one packet."""
@@ -120,19 +185,23 @@ class PipeTerminus:
         except PSPError:
             self.stats.drops_auth += 1
             return
+        self._ingress_decoded(peer, plaintext, packet, now)
+
+    def _ingress_decoded(
+        self, peer: str, plaintext: bytes, packet: ILPPacket, now: float
+    ) -> None:
+        """Decode → cache/offload/punt for one already-decrypted packet."""
         try:
             header = ILPHeader.decode(plaintext)
         except ILPError:
             self.stats.drops_malformed += 1
             return
-
-        if header.flags & (Flags.CONTROL | Flags.LAST):
+        if header.flags & Flags.SLOW_PATH:
             # Control and teardown packets always take the slow path: the
             # service must see LAST to tear down its state and invalidate
             # cache entries (a fast-path hit would hide it).
             self._punt(header, packet)
             return
-
         key = CacheKey(
             src=peer,
             service_id=header.service_id,
@@ -143,17 +212,124 @@ class PipeTerminus:
             self._apply_decision(decision, header, packet.payload)
             self.stats.fast_path += 1
             return
-        offloaded = self.offload.process(
-            peer, header, packet.payload.wire_size, now
-        )
-        if offloaded.kind is ActionKind.DROP:
-            self.stats.drops_by_offload += 1
-            return
-        if offloaded.kind is ActionKind.FORWARD:
-            self.stats.offload_path += 1
-            self.send(offloaded.peer, header, packet.payload)
-            return
+        self._miss_path(peer, header, packet, now)
+
+    def _miss_path(
+        self, peer: str, header: ILPHeader, packet: ILPPacket, now: float
+    ) -> None:
+        """Offload consult → punt, after a decision-cache miss."""
+        offload = self.offload
+        if offload.has_program(header.service_id):
+            offloaded = offload.process(
+                peer, header, packet.payload.wire_size, now
+            )
+            if offloaded.kind is ActionKind.DROP:
+                self.stats.drops_by_offload += 1
+                return
+            if offloaded.kind is ActionKind.FORWARD:
+                self.stats.offload_path += 1
+                self.send(offloaded.peer, header, packet.payload)
+                return
         self._punt(header, packet)
+
+    # -- flow runs --------------------------------------------------------
+    def _process_run(
+        self, peer: str, plain: bytes, run: list[ILPPacket], now: float
+    ) -> None:
+        """Process one flow run (same peer, identical header plaintext)."""
+        try:
+            header = ILPHeader.decode(plain)
+        except ILPError:
+            self.stats.drops_malformed += len(run)
+            return
+        if header.flags & Flags.SLOW_PATH:
+            # Punts get a fresh header per packet: services may retain or
+            # mutate the object they are handed.
+            self._punt(header, run[0])
+            for packet in run[1:]:
+                self._punt(ILPHeader.decode(plain), packet)
+            return
+        key = CacheKey(
+            src=peer,
+            service_id=header.service_id,
+            connection_id=header.connection_id,
+        )
+        decision = self.cache.lookup_run(key, len(run), now=now)
+        if decision is None:
+            # Cold run: replay per-packet — the first packet's punt may
+            # install the decision the rest of the run then hits, and each
+            # scalar lookup counts itself.
+            ingress_decoded = self._ingress_decoded
+            for packet in run:
+                ingress_decoded(peer, plain, packet, now)
+            return
+        self.stats.fast_path += len(run)
+        self._apply_decision_run(decision, header, run)
+
+    def _apply_decision_run(
+        self, decision: Decision, header: ILPHeader, run: list[ILPPacket]
+    ) -> None:
+        """Apply one cached decision to a whole flow run."""
+        if decision.action is Action.DROP:
+            self.stats.drops_by_decision += len(run)
+            return
+        targets = decision.targets
+        encoded = header.encode()
+        qos_src = header.get_str(TLV.SRC_HOST)
+        if len(targets) == 1:
+            target = targets[0]
+            if target.tlv_updates:
+                out_header = header.copy()
+                for tlv_type, value in target.tlv_updates:
+                    out_header.tlvs[tlv_type] = value
+                self.send_run(
+                    target.peer,
+                    out_header.encode(),
+                    out_header.get_str(TLV.SRC_HOST),
+                    run,
+                )
+            else:
+                self.send_run(target.peer, encoded, qos_src, run)
+            return
+        # Multi-target fan-out: precompute one (peer, wire, qos_src) plan per
+        # target, then transmit packet-major so ordering (and therefore each
+        # egress context's nonce sequence) matches the per-packet path.
+        plans = []
+        for target in targets:
+            if target.tlv_updates:
+                out_header = header.copy()
+                for tlv_type, value in target.tlv_updates:
+                    out_header.tlvs[tlv_type] = value
+                plans.append(
+                    (
+                        target.peer,
+                        out_header.encode(),
+                        out_header.get_str(TLV.SRC_HOST),
+                    )
+                )
+            else:
+                plans.append((target.peer, encoded, qos_src))
+        stats = self.stats
+        contexts = self.keystore.contexts
+        node_address = self.node_address
+        created = self._clock()
+        transmit = self._transmit
+        for packet in run:
+            payload = packet.payload
+            for peer, wire_plain, qsrc in plans:
+                ctx = contexts.get(peer)
+                if ctx is None:
+                    stats.drops_no_peer += 1
+                    continue
+                out = ILPPacket(
+                    l3=L3Header(src=node_address, dst=peer),
+                    ilp_wire=ctx.seal(wire_plain),
+                    payload=payload,
+                    created_at=created,
+                    qos_src=qsrc,
+                )
+                if transmit(peer, out):
+                    stats.packets_out += 1
 
     # -- fast path --------------------------------------------------------
     def _apply_decision(
@@ -162,9 +338,11 @@ class PipeTerminus:
         if decision.action is Action.DROP:
             self.stats.drops_by_decision += 1
             return
-        # One encode serves every target without TLV rewrites; targets that
-        # rewrite get a copy (whose memo is invalidated by the rewrite).
+        # One encode and one qos_src extraction serve every target without
+        # TLV rewrites; targets that rewrite get a copy (whose memo is
+        # invalidated by the rewrite) and re-extract from it.
         encoded = header.encode()
+        qos_src = header.get_str(TLV.SRC_HOST)
         for target in decision.targets:
             if target.tlv_updates:
                 out_header = header.copy()
@@ -172,7 +350,9 @@ class PipeTerminus:
                     out_header.tlvs[tlv_type] = value
                 self.send(target.peer, out_header, payload)
             else:
-                self.send(target.peer, header, payload, encoded=encoded)
+                self.send(
+                    target.peer, header, payload, encoded=encoded, qos_src=qos_src
+                )
 
     # -- slow path ----------------------------------------------------------
     def _punt(self, header: ILPHeader, packet: ILPPacket) -> None:
@@ -212,12 +392,15 @@ class PipeTerminus:
         payload: Payload,
         *,
         encoded: Optional[bytes] = None,
+        qos_src=_QOS_UNSET,
     ) -> bool:
         """Seal a header for ``peer`` and transmit the packet to it.
 
         ``encoded`` lets a caller that already holds the header's wire form
         (e.g. :meth:`_apply_decision` fanning one header out to N targets)
-        skip re-encoding; it must equal ``header.encode()``.
+        skip re-encoding; it must equal ``header.encode()``. ``qos_src``
+        likewise lets the caller pass a precomputed SRC_HOST extraction
+        (``None`` is a valid precomputed value — "no SRC_HOST TLV").
         """
         ctx = self.keystore.contexts.get(peer)
         if ctx is None:
@@ -229,9 +412,51 @@ class PipeTerminus:
             ilp_wire=wire,
             payload=payload,
             created_at=self._clock(),
-            qos_src=header.get_str(TLV.SRC_HOST),
+            qos_src=header.get_str(TLV.SRC_HOST)
+            if qos_src is _QOS_UNSET
+            else qos_src,
         )
         sent = self._transmit(peer, out)
         if sent:
             self.stats.packets_out += 1
+        return sent
+
+    def send_run(
+        self,
+        peer: str,
+        encoded: bytes,
+        qos_src: Optional[str],
+        run: list[ILPPacket],
+    ) -> int:
+        """Seal one header wire form over a run's packets and transmit.
+
+        The run egress: one keystore probe, one
+        :meth:`~repro.core.psp.PSPContext.seal_run` (schedule and framing
+        hoisted), one outer L3 header shared by every copy (it is frozen),
+        one clock read. Wire bytes equal per-packet :meth:`send` calls in
+        the same order.
+
+        Returns the number of packets transmitted.
+        """
+        ctx = self.keystore.contexts.get(peer)
+        stats = self.stats
+        if ctx is None:
+            stats.drops_no_peer += len(run)
+            return 0
+        wires = ctx.seal_run(encoded, len(run))
+        l3 = L3Header(src=self.node_address, dst=peer)
+        created = self._clock()
+        transmit = self._transmit
+        sent = 0
+        for packet, wire in zip(run, wires):
+            out = ILPPacket(
+                l3=l3,
+                ilp_wire=wire,
+                payload=packet.payload,
+                created_at=created,
+                qos_src=qos_src,
+            )
+            if transmit(peer, out):
+                sent += 1
+        stats.packets_out += sent
         return sent

@@ -190,6 +190,32 @@ class ServiceNode(NetNode):
             return
         self.terminus.receive(frame)
 
+    def receive_burst(self, frames: Any, link: Link) -> None:
+        """Feed a coalesced link burst through the terminus batch ingress.
+
+        Consecutive ILP packets in the burst become one
+        :meth:`PipeTerminus.receive_batch` call, which amortizes clock,
+        stats, and flow-run work across the burst; other frame kinds (raw
+        IP, control objects) dispatch individually in arrival order.
+        Pass-through SNs and tapped nodes keep strict per-frame semantics.
+        """
+        if self.pass_through is not None or self.rx_tap is not None:
+            for frame in frames:
+                self.receive_frame(frame, link)
+            return
+        self.frames_received += len(frames)
+        batch: list[ILPPacket] = []
+        for frame in frames:
+            if isinstance(frame, ILPPacket):
+                batch.append(frame)
+                continue
+            if batch:
+                self.terminus.receive_batch(batch)
+                batch = []
+            self.handle_frame(frame, link)
+        if batch:
+            self.terminus.receive_batch(batch)
+
     def _forward_raw(self, packet: RawIPPacket) -> None:
         node = self._addr_to_node.get(packet.l3.dst)
         if node is not None and self.has_link_to(node):

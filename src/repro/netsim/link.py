@@ -87,6 +87,10 @@ class Link:
         # Earliest time each direction's transmitter is free again, used to
         # model serialization at the configured bandwidth.
         self._tx_free_at = {a: 0.0, b: 0.0}
+        # Per-direction open burst: frames sent back-to-back that share one
+        # arrival time ride a single coalesced delivery event instead of
+        # one event per frame (see :meth:`transmit`).
+        self._pending_burst: dict["NetNode", Optional[list]] = {a: None, b: None}
         self.stats = {a: LinkStats(), b: LinkStats()}
         a.attach_link(self)
         b.attach_link(self)
@@ -130,16 +134,34 @@ class Link:
         done = start + serialization
         self._tx_free_at[src] = done
         arrival = done + self.latency
-        self.sim.schedule_at(arrival, self._deliver, frame, src, dst, size)
+        # Coalesce back-to-back frames into one delivery event: on an
+        # infinite-rate link a burst all arrives at the same instant, so a
+        # single simulator event delivers the whole burst (the receiver may
+        # then batch-process it). Frames whose arrival differs — bandwidth
+        # serialization spreads them out — start a new burst.
+        pending = self._pending_burst[src]
+        if pending is not None and pending[0] == arrival:
+            pending[1].append(frame)
+            pending[2] += size
+        else:
+            pending = [arrival, [frame], size]
+            self._pending_burst[src] = pending
+            self.sim.schedule_at(arrival, self._deliver_burst, src, dst, pending)
         return True
 
-    def _deliver(
-        self, frame: Any, src: "NetNode", dst: "NetNode", size: int
+    def _deliver_burst(
+        self, src: "NetNode", dst: "NetNode", burst: list
     ) -> None:
+        if self._pending_burst[src] is burst:
+            self._pending_burst[src] = None
+        _, frames, size = burst
         stats = self.stats[src]
-        stats.frames_delivered += 1
+        stats.frames_delivered += len(frames)
         stats.bytes_delivered += size
-        dst.receive_frame(frame, self)
+        if len(frames) == 1:
+            dst.receive_frame(frames[0], self)
+        else:
+            dst.receive_burst(frames, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

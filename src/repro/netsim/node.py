@@ -62,6 +62,17 @@ class NetNode:
             self.rx_tap(frame, link)
         self.handle_frame(frame, link)
 
+    def receive_burst(self, frames: list, link: Link) -> None:
+        """Entry point for a coalesced back-to-back burst from a link.
+
+        The default keeps per-frame semantics (taps, counters, dispatch in
+        arrival order). Subclasses with a batch-capable datapath — e.g.
+        :class:`~repro.core.service_node.ServiceNode` feeding its
+        pipe-terminus — override this to process the burst as one unit.
+        """
+        for frame in frames:
+            self.receive_frame(frame, link)
+
     def handle_frame(self, frame: Any, link: Link) -> None:
         """Process a received frame. Subclasses override."""
 
