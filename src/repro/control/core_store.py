@@ -37,6 +37,7 @@ class CoreStore:
         self._sets: dict[str, set[Any]] = {}
         self._values: dict[str, Any] = {}
         self._watches: dict[str, list[_WatchEntry]] = {}
+        self._prefix_watches: list[tuple[str, _WatchEntry]] = []
         self._next_token = 1
         self.wal: list[tuple[str, str, Any]] = []  # (key, op, value)
 
@@ -95,12 +96,39 @@ class CoreStore:
                 return True
         return False
 
+    def watch_prefix(self, prefix: str, callback: WatchCallback) -> int:
+        """Watch every key under a hierarchical prefix (e.g. ``"resilience/"``).
+
+        One subscription covers a whole subtree — the shape SN agents
+        need for control-plane push (border mappings, future config keys)
+        without a watch per key. Returns a token for
+        :meth:`unwatch_prefix`.
+        """
+        token = self._next_token
+        self._next_token += 1
+        self._prefix_watches.append((prefix, _WatchEntry(callback, token)))
+        return token
+
+    def unwatch_prefix(self, token: int) -> bool:
+        for i, (_, entry) in enumerate(self._prefix_watches):
+            if entry.token == token:
+                del self._prefix_watches[i]
+                return True
+        return False
+
     def watcher_count(self, key: str) -> int:
-        return len(self._watches.get(key, ()))
+        exact = len(self._watches.get(key, ()))
+        by_prefix = sum(
+            1 for prefix, _ in self._prefix_watches if key.startswith(prefix)
+        )
+        return exact + by_prefix
 
     def _notify(self, key: str, op: str, value: Any) -> None:
         for entry in list(self._watches.get(key, ())):
             entry.callback(key, op, value)
+        for prefix, entry in list(self._prefix_watches):
+            if key.startswith(prefix):
+                entry.callback(key, op, value)
 
     # -- recovery ---------------------------------------------------------
     def rebuild_from_wal(self) -> "CoreStore":

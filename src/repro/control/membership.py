@@ -96,6 +96,29 @@ class EdomainMembershipCore:
     def sn_unregistered_sender(self, group: str, sn_address: str) -> None:
         self.store.remove(_senders_key(group), sn_address)
 
+    def purge_sn(self, sn_address: str) -> int:
+        """Remove a dead SN from every group it appears in (§3.3 repair).
+
+        Called by the failover coordinator when an SN is declared dead:
+        senders must stop fanning out to it, and the lookup service must
+        forget this edomain for groups whose only member SN it was. Goes
+        through :meth:`sn_lost_member` / :meth:`sn_unregistered_sender`
+        so watches and lookup bookkeeping fire exactly as on a voluntary
+        leave. Returns the number of entries removed.
+        """
+        removed = 0
+        for key in self.store.keys("groups/"):
+            group = key.split("/")[1]
+            if key.endswith("/member-sns") and sn_address in self.store.members(key):
+                self.sn_lost_member(group, sn_address)
+                removed += 1
+            elif key.endswith("/sender-sns") and sn_address in self.store.members(
+                key
+            ):
+                self.sn_unregistered_sender(group, sn_address)
+                removed += 1
+        return removed
+
     def _on_lookup_update(self, group: str, op: str, edomain: str) -> None:
         if edomain == self.edomain_name:
             return

@@ -238,6 +238,27 @@ class DecisionCache:
         self.stats.invalidations += count
         return count
 
+    def invalidate_by_target(self, peer: str) -> int:
+        """Remove every entry whose decision forwards via ``peer``.
+
+        The failover path: when a next-hop SN is declared dead, all
+        fast-path state pointing at it must go so the next packet of each
+        affected connection punts and re-resolves onto the repaired
+        route. Full-table scan — failover is rare and correctness-first;
+        the common-case operations stay O(1).
+        """
+        victims = [
+            key
+            for key, entry in self._entries.items()
+            if entry.decision.action is Action.FORWARD
+            and any(target.peer == peer for target in entry.decision.targets)
+        ]
+        for key in victims:
+            del self._entries[key]
+            self._index_discard(key)
+        self.stats.invalidations += len(victims)
+        return len(victims)
+
     def evict_random_fraction(self, fraction: float) -> int:
         """Forcibly evict a fraction of entries.
 

@@ -72,10 +72,22 @@ class Edomain:
             raise EdomainError(f"edomain {self.name} has no SNs")
         return self.sns[self._border_sn]
 
+    @property
+    def border_address(self) -> Optional[str]:
+        """Current designated border SN address (None before any SN joins)."""
+        return self._border_sn
+
     def designate_border(self, address: str) -> None:
+        """Designate the border SN and publish it in the core store.
+
+        The ``resilience/border`` key is the authoritative record;
+        resilience agents watching the store remap every SN's border-peer
+        table when it changes (border failover, §3.3).
+        """
         if address not in self.sns:
             raise EdomainError(f"no SN at {address} in edomain {self.name}")
         self._border_sn = address
+        self.store.put("resilience/border", address)
 
     def connect_internal(self, latency: float = 0.002) -> int:
         """Full-mesh pipes between this edomain's SNs; returns pipe count."""

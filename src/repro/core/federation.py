@@ -89,6 +89,10 @@ class InterEdge:
         self.invocation_mode = invocation_mode
         self._addr_counter = itertools.count(1)
         self._peered = False
+        #: latency used for border pipes (peer_all and failover repairs).
+        self.border_latency = 0.01
+        #: set by :meth:`enable_resilience`.
+        self.coordinator: Any = None
 
     # -- construction ----------------------------------------------------
     def create_edomain(self, name: str) -> Edomain:
@@ -158,6 +162,7 @@ class InterEdge:
         border pipe; every SN learns its border mapping (§3.2 requirements
         (i) and (ii)).
         """
+        self.border_latency = border_latency
         pipes = 0
         for edomain in self.edomains.values():
             pipes += edomain.connect_internal(latency=internal_latency)
@@ -179,8 +184,73 @@ class InterEdge:
                         dom_a.name,
                         border_a.address if sn is border_b else border_b.address,
                     )
+        # Publish the border facts in each edomain core store so the
+        # resilience agents (and anything else SDN-ish) have an
+        # authoritative, watchable record (§6.2 core store, §3.3 repair).
+        for dom_a in domain_list:
+            dom_a.store.put("resilience/border", dom_a.border_sn.address)
+            for dom_b in domain_list:
+                if dom_b is not dom_a:
+                    dom_a.store.put(
+                        f"resilience/remote-border/{dom_b.name}",
+                        dom_b.border_sn.address,
+                    )
         self._peered = True
         return pipes
+
+    # -- resilience --------------------------------------------------------
+    def enable_resilience(
+        self,
+        interval: float = 0.25,
+        suspect_multiple: float = 3.0,
+        dead_multiple: float = 6.0,
+    ):
+        """Turn on pipe health monitoring and automated border failover.
+
+        Every SN gets a :class:`~repro.core.resilience.PipeHealthMonitor`
+        (keepalives over idle pipes, phi-accrual failure detection; dead
+        after ~``interval * dead_multiple`` seconds of silence) and a
+        :class:`~repro.core.resilience.ResilienceAgent` watching its
+        edomain core store. Dead/recovered verdicts feed a federation
+        :class:`~repro.core.resilience.FailoverCoordinator` that promotes
+        an alternate border SN, publishes it through the core stores, and
+        evicts stale fast-path state. Returns the coordinator.
+
+        Call after :meth:`peer_all`. Monitor start times are staggered
+        deterministically so keepalive bursts do not synchronize.
+        """
+        from .resilience import FailoverCoordinator, ResilienceAgent
+
+        if not self._peered:
+            raise FederationError("enable_resilience requires peer_all() first")
+        if self.coordinator is not None:
+            return self.coordinator
+        coordinator = FailoverCoordinator(self)
+        self.coordinator = coordinator
+        sns = self.all_sns()
+        for i, sn in enumerate(sns):
+            monitor = sn.enable_health_monitor(
+                interval=interval,
+                suspect_multiple=suspect_multiple,
+                dead_multiple=dead_multiple,
+                initial_delay=interval * (1 + (i % 16)) / 16,
+            )
+            monitor.on_peer_dead = (
+                lambda addr, reporter=sn: coordinator.peer_dead(reporter, addr)
+            )
+            monitor.on_peer_recovered = (
+                lambda addr, reporter=sn: coordinator.peer_recovered(reporter, addr)
+            )
+            if sn.resilience_agent is None:
+                store = self.edomains[sn.edomain_name].store
+                sn.resilience_agent = ResilienceAgent(sn, store)
+        return coordinator
+
+    def disable_resilience(self) -> None:
+        """Stop all health monitors (lets a finished simulation drain)."""
+        for sn in self.all_sns():
+            if sn.health is not None:
+                sn.health.stop()
 
     def establish_direct(self, sn_a: ServiceNode, sn_b: ServiceNode, latency: float = 0.008) -> None:
         """On-demand direct pipe between SNs in different edomains (§3.2)."""

@@ -36,14 +36,27 @@ class SNSnapshot:
     services: int
     storage_keys: int
     associated_hosts: int
+    # Pipe health (zeros when the SN runs without a health monitor).
+    pipes_up: int = 0
+    pipes_suspect: int = 0
+    pipes_dead: int = 0
+    keepalives_sent: int = 0
+    keepalives_received: int = 0
+    crashed: bool = False
 
     @property
     def fast_path_fraction(self) -> float:
         total = self.fast_path + self.punts
         return self.fast_path / total if total else 0.0
 
+    @property
+    def pipes_watched(self) -> int:
+        return self.pipes_up + self.pipes_suspect + self.pipes_dead
+
 
 def snapshot_sn(sn: ServiceNode) -> SNSnapshot:
+    from .resilience import PeerState
+
     stats = sn.terminus.stats
     drops = (
         stats.drops_no_peer
@@ -53,6 +66,16 @@ def snapshot_sn(sn: ServiceNode) -> SNSnapshot:
         + stats.drops_by_decision
         + stats.drops_by_service
     )
+    if sn.health is not None:
+        states = sn.health.state_counts()
+        pipes_up = states[PeerState.UP]
+        pipes_suspect = states[PeerState.SUSPECT]
+        pipes_dead = states[PeerState.DEAD]
+        keepalives_sent = sn.health.stats.keepalives_sent
+        keepalives_received = sn.health.stats.keepalives_received
+    else:
+        pipes_up = pipes_suspect = pipes_dead = 0
+        keepalives_sent = keepalives_received = 0
     return SNSnapshot(
         name=sn.name,
         address=sn.address,
@@ -69,6 +92,12 @@ def snapshot_sn(sn: ServiceNode) -> SNSnapshot:
         services=len(sn.env.service_ids()),
         storage_keys=len(sn.env.storage),
         associated_hosts=len(sn.associated_hosts),
+        pipes_up=pipes_up,
+        pipes_suspect=pipes_suspect,
+        pipes_dead=pipes_dead,
+        keepalives_sent=keepalives_sent,
+        keepalives_received=keepalives_received,
+        crashed=sn.failed,
     )
 
 
@@ -99,6 +128,27 @@ class FederationReport:
         total = fast + punts
         return fast / total if total else 0.0
 
+    @property
+    def dead_pipes(self) -> int:
+        """Pipes currently judged dead across the federation."""
+        return sum(s.pipes_dead for s in self.snapshots)
+
+    @property
+    def suspect_pipes(self) -> int:
+        return sum(s.pipes_suspect for s in self.snapshots)
+
+    @property
+    def crashed_sns(self) -> int:
+        return sum(1 for s in self.snapshots if s.crashed)
+
+    def unhealthy_sns(self) -> list[SNSnapshot]:
+        """SNs that are crashed or see at least one non-UP pipe."""
+        return [
+            s
+            for s in self.snapshots
+            if s.crashed or s.pipes_suspect or s.pipes_dead
+        ]
+
     def by_edomain(self) -> dict[str, list[SNSnapshot]]:
         grouped: dict[str, list[SNSnapshot]] = {}
         for snap in self.snapshots:
@@ -123,6 +173,7 @@ class FederationReport:
                 "drops": s.drops,
                 "cache": s.cache_entries,
                 "hosts": s.associated_hosts,
+                "pipes!": s.pipes_suspect + s.pipes_dead,
             }
             for s in self.snapshots
         ]

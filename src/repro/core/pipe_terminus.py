@@ -102,12 +102,21 @@ class PipeTerminus:
         #: Simulated-time processing delay to apply to the packets produced
         #: by the *current* ingress event; read by the node's transmit hook.
         self.pending_delay = 0.0
+        #: Optional liveness hook: called with the outer L3 source of
+        #: arriving traffic so pipe-health monitoring can treat data as a
+        #: heartbeat (keepalives then flow only over *idle* pipes). The
+        #: batch ingress reports once per same-peer span rather than per
+        #: packet — same liveness information, amortized like the rest of
+        #: the batch work.
+        self.peer_activity: Optional[Callable[[str], None]] = None
 
     # -- ingress ----------------------------------------------------------
     def receive(self, packet: ILPPacket) -> None:
         """Process one packet arriving from any pipe."""
         self.stats.packets_in += 1
         self.pending_delay = self.cost_model.terminus_latency
+        if self.peer_activity is not None:
+            self.peer_activity(packet.l3.src)
         self._ingress_one(packet, self._clock())
 
     def receive_batch(self, packets) -> int:
@@ -137,6 +146,7 @@ class PipeTerminus:
         peers: list[str] = []
         plains: list[Optional[bytes]] = []
         extend = plains.extend
+        peer_activity = self.peer_activity
         i = 0
         while i < n_in:
             peer = packets[i].l3.src
@@ -144,6 +154,8 @@ class PipeTerminus:
             while j < n_in and packets[j].l3.src == peer:
                 j += 1
             peers.extend([peer] * (j - i))
+            if peer_activity is not None:
+                peer_activity(peer)
             ctx = contexts.get(peer)
             if ctx is None:
                 stats.drops_no_peer += j - i

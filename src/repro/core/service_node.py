@@ -33,6 +33,7 @@ from .ipc import CostModel, InvocationMode
 from .packet import ILPPacket, Payload, RawIPPacket
 from .pipe_terminus import PipeTerminus
 from .psp import PeerKeyStore, pairwise_secret
+from .resilience import KeepaliveFrame, PipeHealthMonitor
 
 
 class ImposedModule(Protocol):
@@ -92,6 +93,13 @@ class ServiceNode(NetNode):
         #: so the settlement-free accounting (§5) has ground-truth volumes.
         self.ledger: Any = None
         self.pass_through: Optional[PassThroughConfig] = None
+        #: pipe health monitor (keepalives + failure detection); created by
+        #: :meth:`enable_health_monitor`, None when resilience is off.
+        self.health: Optional[PipeHealthMonitor] = None
+        #: core-store watcher that remaps border peers on failover events;
+        #: set by :meth:`InterEdge.enable_resilience`.
+        self.resilience_agent: Any = None
+        self.crashes = 0
         self.raw_packets_forwarded = 0
         #: host address -> egress shaper; installed by the last-hop QoS
         #: service, consulted for every packet leaving toward that host.
@@ -123,6 +131,12 @@ class ServiceNode(NetNode):
         other.keystore.establish(self.address, secret)
         self._addr_to_node[other.address] = other
         other._addr_to_node[self.address] = self
+        # Pipes created after monitoring started are watched immediately
+        # (e.g. the failover coordinator pre-establishing border pipes).
+        if self.health is not None:
+            self.health.watch_peer(other.address)
+        if other.health is not None:
+            other.health.watch_peer(self.address)
 
     def has_pipe_to(self, address: str) -> bool:
         return self.keystore.has(address) and address in self._addr_to_node
@@ -176,8 +190,74 @@ class ServiceNode(NetNode):
     def configure_pass_through(self, next_hop: str, chain: list[Any]) -> None:
         self.pass_through = PassThroughConfig(next_hop=next_hop, chain=chain)
 
+    # -- resilience ---------------------------------------------------------
+    def enable_health_monitor(
+        self,
+        interval: float = 0.25,
+        suspect_multiple: float = 3.0,
+        dead_multiple: float = 6.0,
+        initial_delay: Optional[float] = None,
+    ) -> PipeHealthMonitor:
+        """Start keepalive-based pipe health monitoring on this SN.
+
+        Every current SN↔SN pipe (keystore peer that is not an associated
+        host) is watched; pipes established later are watched as they are
+        created. Data traffic counts as liveness via the terminus
+        ``peer_activity`` hook, so keepalives only flow over idle pipes.
+        """
+        if self.health is None:
+            self.health = PipeHealthMonitor(
+                self,
+                interval=interval,
+                suspect_multiple=suspect_multiple,
+                dead_multiple=dead_multiple,
+            )
+            self.terminus.peer_activity = self.health.heard
+            for peer in self.keystore.contexts:
+                node = self._addr_to_node.get(peer)
+                if peer not in self._associated_hosts and isinstance(
+                    node, ServiceNode
+                ):
+                    self.health.watch_peer(peer)
+        self.health.start(initial_delay=initial_delay)
+        return self.health
+
+    def crash(self) -> None:
+        """Fail this SN: links down, frames dropped, volatile state lost.
+
+        The decision cache is wiped (it is table state in the terminus
+        ASIC/soft-switch — gone on power loss); service-module state
+        survives only through explicit checkpoints (§3.3), exercised by
+        :meth:`failover_to`.
+        """
+        if self.failed:
+            return
+        self.crashes += 1
+        self.fail()
+        self.cache.evict_random_fraction(1.0)
+
+    def restart(self) -> None:
+        """Recover from :meth:`crash`: links up, health and routing resynced.
+
+        The health monitor grants every peer a fresh grace period (the
+        restarted SN has heard nobody *since boot*, which is not evidence
+        of their death), and the resilience agent re-reads the core store
+        to pick up any border failover it slept through.
+        """
+        if not self.failed:
+            return
+        self.recover()
+        if self.health is not None:
+            self.health.reset()
+        if self.resilience_agent is not None:
+            self.resilience_agent.resync()
+
     # -- datapath -----------------------------------------------------------
     def handle_frame(self, frame: Any, link: Link) -> None:
+        if isinstance(frame, KeepaliveFrame):
+            if self.health is not None:
+                self.health.handle_keepalive(frame)
+            return
         if isinstance(frame, RawIPPacket):
             # Backwards compatibility (§3.3): legacy IP traffic is forwarded
             # untouched — the InterEdge changes nothing for unaware hosts.
@@ -199,6 +279,9 @@ class ServiceNode(NetNode):
         IP, control objects) dispatch individually in arrival order.
         Pass-through SNs and tapped nodes keep strict per-frame semantics.
         """
+        if self.failed:
+            self.frames_dropped_failed += len(frames)
+            return
         if self.pass_through is not None or self.rx_tap is not None:
             for frame in frames:
                 self.receive_frame(frame, link)

@@ -10,6 +10,7 @@ Public surface:
 """
 
 from .engine import EventHandle, PeriodicTask, SimulationError, Simulator, Timer
+from .faults import FaultError, FaultEvent, FaultInjector, FaultPlan, link_name
 from .ipnet import ASGraph, AutonomousSystem, IPNetError, Route, build_random_as_graph
 from .link import DEFAULT_MTU, Link, LinkError, LinkStats, frame_size
 from .node import EchoNode, NetNode, NodeError, SinkNode
@@ -36,6 +37,10 @@ __all__ = [
     "DEFAULT_MTU",
     "EchoNode",
     "EventHandle",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "FlowStats",
     "IPNetError",
     "LatencySample",
@@ -58,6 +63,7 @@ __all__ = [
     "build_random_as_graph",
     "build_star",
     "frame_size",
+    "link_name",
     "percentile",
     "summarize",
 ]

@@ -73,8 +73,6 @@ class Link:
     ) -> None:
         if latency < 0:
             raise LinkError("latency must be non-negative")
-        if not 0.0 <= loss_rate <= 1.0:
-            raise LinkError("loss_rate must be in [0, 1]")
         self.sim = sim
         self.a = a
         self.b = b
@@ -83,6 +81,7 @@ class Link:
         self.loss_rate = loss_rate
         self.mtu = mtu
         self.up = True
+        self.down_transitions = 0
         self._rng = rng or random.Random(0)
         # Earliest time each direction's transmitter is free again, used to
         # model serialization at the configured bandwidth.
@@ -102,8 +101,35 @@ class Link:
             return self.a
         raise LinkError(f"{node!r} is not attached to this link")
 
+    @property
+    def loss_rate(self) -> float:
+        """Independent per-frame drop probability, settable in [0, 1].
+
+        Fault injection (and tests) adjust loss mid-run through this
+        setter; pair with :meth:`reseed` for reproducible drop patterns.
+        """
+        return self._loss_rate
+
+    @loss_rate.setter
+    def loss_rate(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise LinkError("loss_rate must be in [0, 1]")
+        self._loss_rate = rate
+
+    def reseed(self, seed: int) -> None:
+        """Replace the loss RNG with a fresh seeded one (deterministic runs)."""
+        self._rng = random.Random(seed)
+
+    def set_loss(self, rate: float, seed: Optional[int] = None) -> None:
+        """Set the loss rate, optionally reseeding the drop RNG atomically."""
+        if seed is not None:
+            self.reseed(seed)
+        self.loss_rate = rate
+
     def set_down(self) -> None:
         """Fail the link; in-flight frames still arrive (already on the wire)."""
+        if self.up:
+            self.down_transitions += 1
         self.up = False
 
     def set_up(self) -> None:
@@ -124,7 +150,7 @@ class Link:
             return False
         stats.frames_sent += 1
         stats.bytes_sent += size
-        if self.loss_rate and self._rng.random() < self.loss_rate:
+        if self._loss_rate and self._rng.random() < self._loss_rate:
             stats.frames_dropped_loss += 1
             return False
         serialization = (

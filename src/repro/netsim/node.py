@@ -28,6 +28,10 @@ class NetNode:
         self._neighbor_links: dict["NetNode", Link] = {}
         self.frames_received = 0
         self.frames_sent = 0
+        #: True while the node is crashed: links are down and any frame
+        #: already on the wire toward it is dropped on arrival.
+        self.failed = False
+        self.frames_dropped_failed = 0
         # Optional tap invoked for every received frame (tracing/tests).
         self.rx_tap: Optional[Callable[[Any, Link], None]] = None
 
@@ -47,6 +51,28 @@ class NetNode:
     def has_link_to(self, neighbor: "NetNode") -> bool:
         return neighbor in self._neighbor_links
 
+    def fail(self) -> None:
+        """Crash the node: mark it failed and take every attached link down.
+
+        In-flight frames (already on the wire) are dropped on arrival
+        while failed. Subclasses layer volatile-state loss on top (see
+        ``ServiceNode.crash``).
+        """
+        self.failed = True
+        for link in self.links:
+            link.set_down()
+
+    def recover(self) -> None:
+        """Undo :meth:`fail`: bring the node and its links back up.
+
+        Links downed independently of the crash come back up too — the
+        fault harness models node restart as "power back on"; compose a
+        separate link fault if a link must stay dark across a restart.
+        """
+        self.failed = False
+        for link in self.links:
+            link.set_up()
+
     def send_frame(self, frame: Any, neighbor: "NetNode") -> bool:
         """Transmit a frame to a directly connected neighbor."""
         link = self.link_to(neighbor)
@@ -57,6 +83,9 @@ class NetNode:
 
     def receive_frame(self, frame: Any, link: Link) -> None:
         """Entry point called by links; dispatches to :meth:`handle_frame`."""
+        if self.failed:
+            self.frames_dropped_failed += 1
+            return
         self.frames_received += 1
         if self.rx_tap is not None:
             self.rx_tap(frame, link)
@@ -70,6 +99,9 @@ class NetNode:
         :class:`~repro.core.service_node.ServiceNode` feeding its
         pipe-terminus — override this to process the burst as one unit.
         """
+        if self.failed:
+            self.frames_dropped_failed += len(frames)
+            return
         for frame in frames:
             self.receive_frame(frame, link)
 

@@ -6,8 +6,6 @@ transfer over a lossy path with receiver-driven repair, and queue-state
 survival across an SN restart via checkpoint/restore.
 """
 
-import random
-
 import pytest
 
 from repro import WellKnownService
@@ -32,9 +30,8 @@ class TestLossTolerance:
         sn = sn_of(net, "west", 0)
         a = net.add_host(sn, name="a")
         b = net.add_host(sn, name="b")
-        # Make b's access pipe lossy.
-        b.links[0].loss_rate = 0.3
-        b.links[0]._rng = random.Random(11)
+        # Make b's access pipe lossy (seeded for reproducibility).
+        b.links[0].set_loss(0.3, seed=11)
         conn = a.connect(
             WellKnownService.IP_DELIVERY, dest_addr=b.address, allow_direct=False
         )
@@ -52,8 +49,7 @@ class TestLossTolerance:
         publisher_sn = sn_of(net, "west", 0)
         publisher = net.add_host(publisher_sn, name="publisher")
         receiver = net.add_host(sn_of(net, "east", 0), name="receiver")
-        receiver.links[0].loss_rate = 0.25
-        receiver.links[0]._rng = random.Random(3)
+        receiver.links[0].set_loss(0.25, seed=3)
         data = bytes(range(256)) * 16  # 4 chunks
         offer_object(publisher, "big", data)
         net.run(1.0)
@@ -108,6 +104,50 @@ class TestLinkFailure:
         # The border SN carried the rerouted packet.
         border_w = net.edomains["west"].border_sn
         assert border_w.terminus.stats.packets_in >= 1
+
+
+class TestBorderFailover:
+    def test_border_crash_fails_over_within_two_seconds(self, two_edomain_net):
+        """Keepalive timeout detects a dead border SN and an alternate is
+        promoted federation-wide; endpoints see no errors after repair."""
+        net = two_edomain_net
+        coordinator = net.enable_resilience(interval=0.25)
+        west = net.edomains["west"]
+        border = west.border_sn
+        alternate = sn_of(net, "west", 1)
+        a = net.add_host(alternate, name="a")  # attached off the dying border
+        b = net.add_host(sn_of(net, "east", 1), name="b")
+        conn = a.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=b.address, allow_direct=False
+        )
+        a.send(conn, b"before")
+        net.run(1.0)
+        assert payloads(b) == [b"before"]
+
+        crash_at = net.sim.now
+        border.crash()
+        net.run(3.0)
+        failovers = coordinator.failovers()
+        assert len(failovers) == 1
+        assert failovers[0]["alternate"] == alternate.address
+        assert failovers[0]["at"] - crash_at <= 2.0  # detection + repair SLO
+        assert west.border_address == alternate.address
+
+        # In-flight connection keeps working without endpoint changes.
+        a.send(conn, b"after")
+        net.run(1.0)
+        assert payloads(b) == [b"before", b"after"]
+        assert a.undeliverable == 0 and b.undeliverable == 0
+
+        # Recovery: the old border rejoins as a regular SN.
+        border.restart()
+        net.run(3.0)
+        assert any(entry["kind"] == "peer-recovered" for entry in coordinator.log)
+        from repro.core.monitoring import FederationMonitor
+
+        report = FederationMonitor(net).collect()
+        assert report.dead_pipes == 0 and report.crashed_sns == 0
+        net.disable_resilience()
 
 
 class TestSNRestart:

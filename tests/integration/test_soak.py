@@ -10,6 +10,7 @@ import pytest
 
 from repro import WellKnownService
 from repro.core.monitoring import FederationMonitor
+from repro.netsim import FaultInjector, FaultPlan, link_name
 from repro.netsim.workloads import OnOffSource, PoissonSource
 from repro.scenarios import metro_federation
 from repro.services.multipoint import join_group, publish, register_sender
@@ -105,3 +106,94 @@ class TestSoak:
             return len(dst.delivered), net.sim.now
 
         assert run() == run()
+
+
+def _chaos_run():
+    """30 virtual seconds of a metro federation under a seeded FaultPlan.
+
+    Crashes one border SN (restarting it later) and flaps two edomain-2
+    links while a cross-edomain flow runs through the dying border.
+    Returns everything a determinism comparison needs.
+    """
+    handles = metro_federation(n_edomains=3, sns_per_edomain=2, hosts_per_sn=1)
+    net = handles.net
+    coordinator = net.enable_resilience(interval=0.25)
+    plan = (
+        FaultPlan(seed=42)
+        .crash("sn-0-0", at=5.0, restart_after=12.0)
+        .link_flap(link_name("sn-2-0", "sn-2-1"), at=4.0, period=1.0, count=3)
+        .link_flap(
+            link_name("host-sn-2-1-0", "sn-2-1"), at=6.0, period=0.8, count=2
+        )
+    )
+    injector = FaultInjector(net.sim, plan).bind(net)
+    injector.arm()
+
+    # hosts[1] (sn-0-1) → hosts[3] (sn-1-1): crosses the sn-0-0 border.
+    src, dst = handles.hosts[1], handles.hosts[3]
+    conn = src.connect(
+        WellKnownService.IP_DELIVERY, dest_addr=dst.address, allow_direct=False
+    )
+    for i in range(20):  # phase A: healthy fabric
+        net.sim.schedule_at(0.5 + i * 0.1, src.send, conn, b"pre-%d" % i)
+    for i in range(40):  # phase B: after the failover SLO window
+        net.sim.schedule_at(9.0 + i * 0.1, src.send, conn, b"post-%d" % i)
+    net.run(30.0)
+
+    delivered = [p.data for _, p in dst.delivered if p.data]
+    return handles, injector, coordinator, delivered
+
+
+class TestChaosSoak:
+    def test_chaos_soak_survives_border_crash_and_flaps(self):
+        handles, injector, coordinator, delivered = _chaos_run()
+        net = handles.net
+        sns = handles.sns
+
+        # Exactly one failover, to sn-0-1, within the 2-second SLO.
+        failovers = coordinator.failovers()
+        assert len(failovers) == 1
+        assert failovers[0]["alternate"] == sns[1].address
+        assert failovers[0]["at"] - 5.0 <= 2.0
+        assert net.edomains["edomain-0"].border_address == sns[1].address
+
+        # Every repairable transfer completed: all of phase A (pre-crash)
+        # and all of phase B (post-failover), no endpoint-visible errors.
+        assert [d for d in delivered if d.startswith(b"pre-")] == [
+            b"pre-%d" % i for i in range(20)
+        ]
+        assert [d for d in delivered if d.startswith(b"post-")] == [
+            b"post-%d" % i for i in range(40)
+        ]
+        assert handles.hosts[1].undeliverable == 0
+        assert handles.hosts[3].undeliverable == 0
+
+        # The flaps actually happened.
+        flapped = sns[4].link_to(sns[5])
+        assert flapped.down_transitions == 3
+
+        # The crashed border restarted and was seen alive again.
+        assert sns[0].crashes == 1 and not sns[0].failed
+        assert any(e["kind"] == "peer-recovered" for e in coordinator.log)
+
+        # Steady state after the storm: no dead pipes, no crashed SNs,
+        # and the datapath drains to idle (no wedged timers or retries).
+        report = FederationMonitor(net).collect()
+        assert report.crashed_sns == 0
+        assert report.dead_pipes == 0
+        net.disable_resilience()
+        net.sim.run_until_idle()
+
+    def test_chaos_soak_is_deterministic(self):
+        """Same plan seed ⇒ identical fault trace and identical outcome."""
+
+        def fingerprint():
+            handles, injector, coordinator, delivered = _chaos_run()
+            return (
+                injector.trace_digest(),
+                delivered,
+                [(e["at"], e["kind"]) for e in coordinator.log],
+                handles.net.sim.events_processed,
+            )
+
+        assert fingerprint() == fingerprint()

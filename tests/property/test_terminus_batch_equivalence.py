@@ -17,10 +17,16 @@ The sequences mix flows (run lengths from 1 to the whole batch), cache
 hits and cold runs, CONTROL/LAST punts, offload rules (count, forward,
 fall-through), bad auth, unknown peers, unknown services, malformed
 headers, and fan-out decisions with TLV rewrites.
+
+A second property feeds the same sequences through a seeded wire-fault
+transform (drops, duplicates, auth-tag corruption — the shapes a lossy or
+hostile pipe produces) before both rigs see them: equivalence must hold,
+stats included, for whatever actually arrives.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import asdict
 from typing import Any
 
@@ -226,11 +232,34 @@ _spec_burst = st.tuples(_spec, st.integers(min_value=1, max_value=6)).map(
 )
 
 
-@settings(max_examples=60, deadline=None)
-@given(st.lists(_spec_burst, min_size=0, max_size=12).map(
+_spec_list = st.lists(_spec_burst, min_size=0, max_size=12).map(
     lambda bursts: [spec for burst in bursts for spec in burst]
-))
-def test_receive_batch_equals_per_packet(specs):
+)
+
+
+def apply_wire_faults(specs: list[dict], seed: int) -> list[dict]:
+    """A seeded model of what a faulty pipe does to a packet sequence.
+
+    Per packet: ~15% dropped in flight, ~10% arrive with a corrupted auth
+    tag, ~15% arrive duplicated (loss-triggered retransmit racing the
+    original). Deterministic in ``seed`` so both rigs — and any replay —
+    see the identical arrival sequence.
+    """
+    rng = random.Random(seed)
+    arrived: list[dict] = []
+    for spec in specs:
+        roll = rng.random()
+        if roll < 0.15:
+            continue
+        if roll < 0.25 and spec["kind"] != "malformed":
+            spec = {**spec, "kind": "badauth"}
+        arrived.append(spec)
+        if roll > 0.85:
+            arrived.append(spec)
+    return arrived
+
+
+def _assert_batch_equals_scalar(specs: list[dict]) -> None:
     rig_scalar, rig_batch = _Rig(), _Rig()
     scalar_packets = [rig_scalar.build_packet(s) for s in specs]
     batch_packets = [rig_batch.build_packet(s) for s in specs]
@@ -240,3 +269,22 @@ def test_receive_batch_equals_per_packet(specs):
     assert rig_batch.terminus.receive_batch(batch_packets) == len(specs)
 
     assert rig_batch.observable_state() == rig_scalar.observable_state()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_spec_list)
+def test_receive_batch_equals_per_packet(specs):
+    _assert_batch_equals_scalar(specs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_spec_list, st.integers(min_value=0, max_value=2**32 - 1))
+def test_receive_batch_equals_per_packet_under_faults(specs, seed):
+    """Drops, duplicates, and corrupted frames keep the paths identical.
+
+    Duplicates stress run coalescing (a duplicated packet extends its
+    flow run), corruption stresses the mid-run auth-failure bailout, and
+    drops reshuffle run boundaries — none may cause the batched path to
+    diverge from per-packet processing in any observable, stats included.
+    """
+    _assert_batch_equals_scalar(apply_wire_faults(specs, seed))

@@ -1,0 +1,265 @@
+"""Unit: the deterministic fault-injection harness and failure detector.
+
+Covers the three resilience primitives in isolation:
+
+* :class:`FaultPlan` — same seed ⇒ identical event schedules; validation.
+* :class:`FaultInjector` — replay over a tiny topology is bit-deterministic
+  (identical traces/digests) and drives the per-link drop counters
+  (``frames_dropped_down`` / ``frames_dropped_loss``).
+* :class:`FailureDetector` — the up → suspect → dead → recovered walk.
+"""
+
+import pytest
+
+from repro.core.resilience import FailureDetector, PeerState, ResilienceError
+from repro.netsim import (
+    FaultError,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    Link,
+    SinkNode,
+    Simulator,
+    link_name,
+)
+
+
+def make_plan(seed):
+    return (
+        FaultPlan(seed=seed)
+        .link_flap("a<->b", at=1.0, period=0.5, count=3, jitter=0.1)
+        .loss_ramp("a<->b", at=3.0, peak=0.4, duration=1.0)
+        .crash("b", at=5.0, restart_after=1.0)
+        .partition(["a"], ["b"], at=7.0, duration=0.5)
+    )
+
+
+class TestFaultPlan:
+    def test_same_seed_same_events(self):
+        assert make_plan(7) == make_plan(7)
+        assert make_plan(7).events == make_plan(7).events
+
+    def test_different_seed_different_jitter(self):
+        # Jittered flap times are drawn from the seed, so they must differ.
+        assert make_plan(7) != make_plan(8)
+
+    def test_link_name_is_canonical(self):
+        assert link_name("sn-b", "sn-a") == link_name("sn-a", "sn-b")
+        assert link_name("x", "y") == "x<->y"
+
+    def test_sorted_events_breaks_ties_by_insertion(self):
+        plan = (
+            FaultPlan()
+            .add(1.0, "link_down", "l1")
+            .add(0.5, "link_down", "l2")
+            .add(1.0, "link_up", "l1")
+        )
+        ordered = plan.sorted_events()
+        assert [e.target for e in ordered] == ["l2", "l1", "l1"]
+        assert [e.kind for e in ordered] == ["link_down", "link_down", "link_up"]
+
+    def test_durations_expand_to_paired_events(self):
+        plan = FaultPlan().link_down("l", at=1.0, duration=2.0)
+        assert plan.events == [
+            FaultEvent(1.0, "link_down", "l"),
+            FaultEvent(3.0, "link_up", "l"),
+        ]
+        plan = FaultPlan().crash("n", at=1.0, restart_after=0.5)
+        assert [e.kind for e in plan.events] == ["crash", "restart"]
+
+    def test_set_loss_with_seed_reseeds_first(self):
+        plan = FaultPlan().set_loss("l", at=0.0, rate=0.2, seed=9)
+        assert [e.kind for e in plan.events] == ["reseed", "loss_rate"]
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            FaultPlan().add(-0.1, "link_down", "l")
+        with pytest.raises(FaultError):
+            FaultPlan().add(0.0, "meteor_strike", "l")
+        with pytest.raises(FaultError):
+            FaultPlan().link_flap("l", at=0.0, period=0.0, count=1)
+        with pytest.raises(FaultError):
+            FaultPlan().link_flap("l", at=0.0, period=1.0, count=1, duty=1.0)
+        with pytest.raises(FaultError):
+            FaultPlan().loss_ramp("l", at=0.0, peak=1.5, duration=1.0)
+        with pytest.raises(FaultError):
+            FaultPlan().delay_spike("l", at=0.0, extra=0.0, duration=1.0)
+
+
+class _Topo:
+    """Two sinks joined by one link, with a scheduled frame pump."""
+
+    def __init__(self):
+        self.sim = Simulator()
+        self.a = SinkNode(self.sim, "a")
+        self.b = SinkNode(self.sim, "b")
+        self.link = Link(self.sim, self.a, self.b, latency=0.001)
+
+    def pump(self, times):
+        for t in times:
+            self.sim.schedule_at(t, self.a.send_frame, b"x" * 64, self.b)
+
+
+class TestFaultInjectorReplay:
+    def test_flap_and_loss_drive_drop_counters(self):
+        topo = _Topo()
+        plan = (
+            FaultPlan(seed=1)
+            .link_flap("a<->b", at=1.0, period=1.0, count=2)  # down [1,1.5),[2,2.5)
+            .set_loss("a<->b", at=3.0, rate=1.0, seed=4)
+        )
+        injector = FaultInjector(topo.sim, plan)
+        injector.register_link("a<->b", topo.link)
+        injector.arm()
+        # Two frames into down windows, one into an up window, two into
+        # certain loss.
+        topo.pump([1.25, 1.75, 2.25, 3.1, 3.2])
+        topo.sim.run(until=5.0)
+        stats = topo.link.stats[topo.a]
+        assert stats.frames_dropped_down == 2
+        assert stats.frames_dropped_loss == 2
+        assert stats.frames_delivered == 1
+        assert topo.link.down_transitions == 2
+        assert topo.link.up
+
+    def test_replay_is_bit_deterministic(self):
+        def run():
+            topo = _Topo()
+            plan = make_plan(7)
+            injector = FaultInjector(topo.sim, plan)
+            injector.register_link("a<->b", topo.link)
+            injector.register_node("b", topo.b)
+            injector.arm()
+            topo.pump([t * 0.25 for t in range(40)])
+            topo.sim.run(until=10.0)
+            stats = topo.link.stats[topo.a]
+            return injector.trace_digest(), (
+                stats.frames_delivered,
+                stats.frames_dropped_down,
+                stats.frames_dropped_loss,
+            )
+
+        digest_1, counters_1 = run()
+        digest_2, counters_2 = run()
+        assert digest_1 == digest_2
+        assert counters_1 == counters_2
+        # The trace is the plan, replayed in order.
+        topo = _Topo()
+        injector = FaultInjector(topo.sim, make_plan(7))
+        injector.register_link("a<->b", topo.link)
+        injector.register_node("b", topo.b)
+        injector.arm()
+        topo.sim.run(until=10.0)
+        assert [(k, t) for _, k, t, _ in injector.trace] == [
+            (e.kind, e.target) for e in make_plan(7).sorted_events()
+        ]
+
+    def test_crash_and_restart_toggle_node_and_links(self):
+        topo = _Topo()
+        plan = FaultPlan().crash("b", at=1.0, restart_after=1.0)
+        injector = FaultInjector(topo.sim, plan)
+        injector.register_node("b", topo.b)
+        injector.arm()
+        topo.sim.run(until=1.5)
+        assert topo.b.failed and not topo.link.up
+        topo.sim.run(until=2.5)
+        assert not topo.b.failed and topo.link.up
+
+    def test_partition_downs_only_straddling_links(self):
+        sim = Simulator()
+        a, b, c = (SinkNode(sim, n) for n in "abc")
+        ab = Link(sim, a, b)
+        bc = Link(sim, b, c)
+        plan = FaultPlan().partition(["a"], ["b", "c"], at=1.0, duration=1.0)
+        injector = FaultInjector(sim, plan)
+        injector.register_link(link_name(a, b), ab)
+        injector.register_link(link_name(b, c), bc)
+        injector.arm()
+        sim.run(until=1.5)
+        assert not ab.up and bc.up
+        sim.run(until=2.5)
+        assert ab.up and bc.up
+
+    def test_delay_spike_raises_then_restores_latency(self):
+        topo = _Topo()
+        base = topo.link.latency
+        plan = FaultPlan().delay_spike("a<->b", at=1.0, extra=0.2, duration=1.0)
+        injector = FaultInjector(topo.sim, plan)
+        injector.register_link("a<->b", topo.link)
+        injector.arm()
+        topo.sim.run(until=1.5)
+        assert topo.link.latency == pytest.approx(base + 0.2)
+        topo.sim.run(until=2.5)
+        assert topo.link.latency == pytest.approx(base)
+
+    def test_unknown_target_raises(self):
+        topo = _Topo()
+        injector = FaultInjector(topo.sim, FaultPlan().link_down("ghost", at=0.5))
+        injector.arm()
+        with pytest.raises(FaultError):
+            topo.sim.run(until=1.0)
+
+    def test_double_arm_rejected(self):
+        topo = _Topo()
+        injector = FaultInjector(topo.sim, FaultPlan())
+        injector.arm()
+        with pytest.raises(FaultError):
+            injector.arm()
+
+
+class TestFailureDetector:
+    def test_full_lifecycle_up_suspect_dead_recovered(self):
+        fd = FailureDetector(expected_interval=1.0)
+        for t in (0.0, 1.0, 2.0):
+            fd.heard(t)
+        assert fd.evaluate(3.0) is PeerState.UP
+        # Silence grows: suspect at 3× the mean interval, dead at 6×.
+        assert fd.evaluate(5.5) is PeerState.SUSPECT
+        assert fd.evaluate(9.0) is PeerState.DEAD
+        assert fd.phi(9.0) >= fd.dead_multiple
+        # Hearing the peer again snaps back to UP and counts the recovery.
+        assert fd.heard(9.5) is PeerState.DEAD
+        assert fd.state is PeerState.UP
+        assert fd.recoveries == 1
+        assert [state for _, state in fd.transitions] == [
+            PeerState.SUSPECT,
+            PeerState.DEAD,
+            PeerState.UP,
+        ]
+
+    def test_evaluate_never_deescalates(self):
+        fd = FailureDetector(expected_interval=1.0)
+        fd.heard(0.0)
+        assert fd.evaluate(4.0) is PeerState.SUSPECT
+        # A later evaluate with (impossibly) lower phi cannot walk back.
+        assert fd.evaluate(4.0) is PeerState.SUSPECT
+
+    def test_outage_samples_are_clamped(self):
+        fd = FailureDetector(expected_interval=1.0)
+        fd.heard(0.0)
+        fd.heard(100.0)  # one huge gap must not blunt the next detection
+        assert fd.mean_interval <= 4.0
+        fd.heard(101.0)
+        assert fd.evaluate(101.0 + 6.5 * fd.mean_interval) is PeerState.DEAD
+
+    def test_mean_is_floored_against_bursts(self):
+        fd = FailureDetector(expected_interval=1.0)
+        for t in (0.0, 0.01, 0.02, 0.03, 0.04):
+            fd.heard(t)
+        assert fd.mean_interval >= 0.5
+
+    def test_reset_restores_fresh_up_state(self):
+        fd = FailureDetector(expected_interval=1.0)
+        fd.heard(0.0)
+        fd.evaluate(10.0)
+        assert fd.state is PeerState.DEAD
+        fd.reset(10.0)
+        assert fd.state is PeerState.UP
+        assert fd.mean_interval == 1.0
+        assert fd.phi(10.5) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            FailureDetector(expected_interval=0.0)
+        with pytest.raises(ResilienceError):
+            FailureDetector(expected_interval=1.0, suspect_multiple=6.0, dead_multiple=3.0)
