@@ -1,0 +1,57 @@
+"""Repo-specific static analysis: determinism & datapath invariants.
+
+The InterEdge reproduction depends on invariants no generic linter checks:
+bit-deterministic fault replay, byte-identical batch vs. per-packet
+forwarding, and per-epoch nonce discipline in the PSP-style per-hop
+crypto. This package turns those conventions into machine-checked rules,
+runnable as ``python -m repro.analysis``:
+
+============  ==========================================================
+Rule          What it enforces
+============  ==========================================================
+``DET001``    No unseeded nondeterminism: module-level ``random.*``
+              (global RNG), unseeded ``random.Random()`` /
+              ``SystemRandom``, wall-clock reads (``time.time`` and
+              friends), entropy sources (``os.urandom``, ``secrets``,
+              ``uuid4``) outside the blessed entropy boundary, builtin
+              ``hash()`` (randomized per process via PYTHONHASHSEED —
+              the root of dict-order nondeterminism), and unseeded
+              ``numpy`` RNGs. Simulations must replay bit-identically
+              from their seeds.
+``DET002``    No cross-module reach-ins to private (``_``-prefixed)
+              attributes. An attribute may be touched through a receiver
+              other than ``self``/``cls`` only in the module that owns
+              it (assigns it on ``self``, declares it in ``__slots__``
+              or a class body).
+``WIRE001``   Every stateful class in the wire-path modules (``ilp``,
+              ``packet``, ``crypto``, ``psp``, ``decision_cache``,
+              ``pipe_terminus``) declares ``__slots__`` (dataclasses:
+              ``slots=True``), and any ``encode`` method has a matching
+              ``decode`` (round-trip discipline).
+``RES001``    Every watch registration (``watch`` / ``watch_prefix`` /
+              ``watch_group``) in a class has a matching teardown call
+              in the same class — watches must not leak.
+============  ==========================================================
+
+A finding can be waived inline with ``# repro: allow(CODE) reason`` on
+the offending line or the line above; waivers are deliberate, reviewed
+exceptions (e.g. ``ILPHeader`` is dict-backed for its wire memo).
+
+The static rules are paired with a *sanitizer mode*
+(:mod:`repro.sanitize`): ``REPRO_SANITIZE=1`` arms debug-build runtime
+checks of the same invariants at the terminus and resilience layers.
+"""
+
+from __future__ import annotations
+
+from .engine import Finding, ModuleContext, analyze_file, analyze_paths
+from .rules import ALL_RULES, RULE_DOCS
+
+__all__ = [
+    "ALL_RULES",
+    "RULE_DOCS",
+    "Finding",
+    "ModuleContext",
+    "analyze_file",
+    "analyze_paths",
+]

@@ -176,6 +176,24 @@ class GlobalLookupService:
     def watch_group(self, group: str, callback: WatchCallback) -> None:
         self._watches.setdefault(group, []).append(callback)
 
+    def unwatch_group(self, group: str, callback: WatchCallback) -> bool:
+        """Remove one registration of ``callback`` on ``group``.
+
+        Returns True if a registration was removed. Watchers must call this
+        on teardown — a leaked watch keeps delivering updates to (and
+        keeps alive) a subscriber that no longer wants them.
+        """
+        callbacks = self._watches.get(group)
+        if not callbacks:
+            return False
+        try:
+            callbacks.remove(callback)
+        except ValueError:
+            return False
+        if not callbacks:
+            del self._watches[group]
+        return True
+
     def _notify(self, group: str, op: str, edomain: str) -> None:
         for callback in list(self._watches.get(group, ())):
             callback(group, op, edomain)

@@ -50,6 +50,9 @@ class GroupView:
 
     local_member_sns: set[str] = field(default_factory=set)
     watching: bool = False
+    #: core-store watch token, held so the watch can be torn down when the
+    #: last local sender unregisters (RES001: watches must not leak)
+    watch_token: Optional[int] = None
 
 
 class EdomainMembershipCore:
@@ -95,6 +98,15 @@ class EdomainMembershipCore:
 
     def sn_unregistered_sender(self, group: str, sn_address: str) -> None:
         self.store.remove(_senders_key(group), sn_address)
+        if (
+            self.store.set_size(_senders_key(group)) == 0
+            and group in self._lookup_watched
+        ):
+            # Last sender in the edomain gone: stop watching the lookup
+            # service and drop the remote-edomain view it was maintaining.
+            self._lookup_watched.discard(group)
+            self.lookup.unwatch_group(group, self._on_lookup_update)
+            self.remote_member_edomains.pop(group, None)
 
     def purge_sn(self, sn_address: str) -> int:
         """Remove a dead SN from every group it appears in (§3.3 repair).
@@ -209,7 +221,9 @@ class SNMembershipAgent:
             view = GroupView()
             self._views[group] = view
             view.local_member_sns = self.core.member_sns(group)
-            self.core.store.watch(_members_key(group), self._on_member_update)
+            view.watch_token = self.core.store.watch(
+                _members_key(group), self._on_member_update
+            )
             view.watching = True
             self.core.sn_registered_sender(group, self.sn_address)
         return view
@@ -220,6 +234,11 @@ class SNMembershipAgent:
             senders.discard(host)
             if not senders:
                 del self.local_senders[group]
+                view = self._views.pop(group, None)
+                if view is not None and view.watch_token is not None:
+                    self.core.store.unwatch(_members_key(group), view.watch_token)
+                    view.watch_token = None
+                    view.watching = False
                 self.core.sn_unregistered_sender(group, self.sn_address)
 
     def _on_member_update(self, key: str, op: str, sn_address: str) -> None:

@@ -55,6 +55,7 @@ class CryptoError(Exception):
 
 def random_key() -> bytes:
     """A fresh uniformly random 256-bit key."""
+    # repro: allow(DET001) entropy boundary: key material must be real entropy
     return os.urandom(KEY_SIZE)
 
 
@@ -292,7 +293,7 @@ class NonceGenerator:
         return [pack(value) for value in range(start + 1, end + 1)]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KeyPair:
     """A toy asymmetric identity: 'public' key is a hash of the private key.
 
@@ -328,6 +329,8 @@ class SignatureRegistry:
     key pair, verifiers ask the registry to check signatures against a
     public key. Verification is constant-time HMAC comparison.
     """
+
+    __slots__ = ("_by_public",)
 
     def __init__(self) -> None:
         self._by_public: dict[bytes, KeyPair] = {}

@@ -20,8 +20,10 @@ from __future__ import annotations
 import enum
 import random
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
+
+from .. import sanitize as _san
 
 
 class CacheError(Exception):
@@ -40,7 +42,7 @@ class CacheKey:
     connection_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ForwardTarget:
     """One forwarding destination for a matched packet.
 
@@ -83,7 +85,7 @@ class EvictionPolicy(enum.Enum):
     RANDOM = "random"
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     decision: Decision
     installed_at: float
@@ -91,7 +93,7 @@ class _Entry:
     last_hit_at: Optional[float] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     lookups: int = 0
     hits: int = 0
@@ -107,6 +109,17 @@ class CacheStats:
 
 class DecisionCache:
     """Bounded exact-match decision cache."""
+
+    __slots__ = (
+        "capacity",
+        "policy",
+        "_rng",
+        "_entries",
+        "_by_conn",
+        "_key_list",
+        "_key_pos",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -212,12 +225,16 @@ class DecisionCache:
         self._entries[key] = _Entry(decision=decision, installed_at=now)
         self._index_add(key)
         self.stats.installs += 1
+        if _san.ENABLED:
+            self.check_index_coherence()
 
     def invalidate(self, key: CacheKey) -> bool:
         """Remove one entry (service teardown). Returns True if present."""
         if self._entries.pop(key, None) is not None:
             self._index_discard(key)
             self.stats.invalidations += 1
+            if _san.ENABLED:
+                self.check_index_coherence()
             return True
         return False
 
@@ -236,6 +253,14 @@ class DecisionCache:
             del self._entries[key]
             self._index_discard(key)
         self.stats.invalidations += count
+        if _san.ENABLED:
+            self.check_index_coherence()
+            if (service_id, connection_id) in self._by_conn:
+                _san.fail(
+                    "cache-coherence",
+                    f"connection ({service_id}, {connection_id}) still indexed "
+                    "after invalidate_connection",
+                )
         return count
 
     def invalidate_by_target(self, peer: str) -> int:
@@ -257,6 +282,15 @@ class DecisionCache:
             del self._entries[key]
             self._index_discard(key)
         self.stats.invalidations += len(victims)
+        if _san.ENABLED:
+            self.check_index_coherence()
+            survivors = self.count_targeting(peer)
+            if survivors:
+                _san.fail(
+                    "cache-coherence",
+                    f"{survivors} entr(y/ies) still forward via {peer!r} "
+                    "after invalidate_by_target",
+                )
         return len(victims)
 
     def evict_random_fraction(self, fraction: float) -> int:
@@ -271,6 +305,8 @@ class DecisionCache:
             del self._entries[key]
             self._index_discard(key)
         self.stats.evictions += count
+        if _san.ENABLED:
+            self.check_index_coherence()
         return count
 
     def hit_count(self, key: CacheKey) -> Optional[int]:
@@ -304,3 +340,76 @@ class DecisionCache:
 
     def keys(self) -> list[CacheKey]:
         return list(self._entries)
+
+    # -- introspection / sanitizer API ---------------------------------
+    def snapshot_entries(
+        self,
+    ) -> list[tuple[CacheKey, Decision, int, float, Optional[float]]]:
+        """Point-in-time ``(key, decision, hits, installed_at, last_hit_at)``
+        rows in table order (tests, debugging)."""
+        return [
+            (key, e.decision, e.hits, e.installed_at, e.last_hit_at)
+            for key, e in self._entries.items()
+        ]
+
+    def count_targeting(self, peer: str) -> int:
+        """How many resident FORWARD entries name ``peer`` as a target."""
+        return sum(
+            1
+            for entry in self._entries.values()
+            if entry.decision.action is Action.FORWARD
+            and any(target.peer == peer for target in entry.decision.targets)
+        )
+
+    def check_index_coherence(self) -> None:
+        """Verify the secondary indexes agree with the entry table.
+
+        Raises :class:`~repro.sanitize.SanitizeError` on any violation.
+        Above :data:`repro.sanitize.FULL_SCAN_LIMIT` entries only the O(1)
+        cardinality invariants are checked, so the sanitizer can run after
+        every mutation without turning the datapath quadratic.
+        """
+        n = len(self._entries)
+        if len(self._key_list) != n or len(self._key_pos) != n:
+            _san.fail(
+                "cache-coherence",
+                f"key index size mismatch: {n} entries, "
+                f"{len(self._key_list)} in key list, "
+                f"{len(self._key_pos)} in position map",
+            )
+        if n > _san.FULL_SCAN_LIMIT:
+            return
+        for pos, key in enumerate(self._key_list):
+            if self._key_pos.get(key) != pos:
+                _san.fail(
+                    "cache-coherence",
+                    f"key {key} at list position {pos} but position map "
+                    f"says {self._key_pos.get(key)}",
+                )
+            if key not in self._entries:
+                _san.fail(
+                    "cache-coherence", f"indexed key {key} missing from table"
+                )
+        indexed = 0
+        for conn, members in self._by_conn.items():
+            if not members:
+                _san.fail(
+                    "cache-coherence", f"empty index bucket for connection {conn}"
+                )
+            indexed += len(members)
+            for key in members:
+                if (key.service_id, key.connection_id) != conn:
+                    _san.fail(
+                        "cache-coherence",
+                        f"key {key} filed under wrong connection {conn}",
+                    )
+                if key not in self._entries:
+                    _san.fail(
+                        "cache-coherence",
+                        f"connection-indexed key {key} missing from table",
+                    )
+        if indexed != n:
+            _san.fail(
+                "cache-coherence",
+                f"connection index covers {indexed} keys, table has {n}",
+            )

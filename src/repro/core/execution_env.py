@@ -58,6 +58,14 @@ class ConfigStore:
     def watch(self, callback: Callable[[int, str, str, Any], None]) -> None:
         self._watchers.append(callback)
 
+    def unwatch(self, callback: Callable[[int, str, str, Any], None]) -> bool:
+        """Remove one registration of ``callback``; True if removed."""
+        try:
+            self._watchers.remove(callback)
+        except ValueError:
+            return False
+        return True
+
     def export(self) -> dict[tuple[int, str, str], Any]:
         """Snapshot used to port a customer's config to another IESP."""
         return dict(self._data)

@@ -151,6 +151,29 @@ class Host(NetNode):
         self._connections[conn.connection_id] = conn
         return conn
 
+    def adopt_connection(self, conn: HostConnection, connection_id: int) -> None:
+        """Re-key a connection under a caller-chosen ID and register it.
+
+        Relay-style services (oDNS, private relay) answer an inbound
+        connection by opening a fresh outbound one that must carry the
+        *original* connection ID so the far end can correlate the reply.
+        """
+        self._connections.pop(conn.connection_id, None)
+        conn.connection_id = connection_id
+        self._connections[connection_id] = conn
+
+    def connection(self, connection_id: int) -> Optional[HostConnection]:
+        """The registered connection with this ID, if any."""
+        return self._connections.get(connection_id)
+
+    def prefer_first_hop(self, address: str) -> None:
+        """Promote the associated SN with ``address`` to primary first hop.
+
+        Used by the load balancer after migrating a host association: new
+        connections pick the promoted SN, existing ones keep working.
+        """
+        self._first_hops.sort(key=lambda sn: sn.address != address)
+
     def _direct_candidate(self, dest_addr: str) -> Optional[NetNode]:
         """Same-subnet neighbor reachable without an SN (§3.2)."""
         try:

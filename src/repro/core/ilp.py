@@ -118,6 +118,9 @@ _WIRE_FIELDS = frozenset(("service_id", "connection_id", "flags", "tlvs"))
 
 
 @dataclass
+# dict-backed by design: the encode() memo lives in __dict__ (see
+# __setattr__/__getstate__); slots would break the wire cache.
+# repro: allow(WIRE001)
 class ILPHeader:
     """Decoded ILP header.
 
@@ -278,4 +281,5 @@ class ILPHeader:
 
 def new_connection_id() -> int:
     """A fresh random 64-bit connection ID (chosen by the initiating host)."""
+    # repro: allow(DET001) entropy boundary: connection IDs must be unguessable
     return struct.unpack(">Q", os.urandom(8))[0]

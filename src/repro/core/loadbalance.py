@@ -116,7 +116,7 @@ class EdomainBalancer:
             Link(host.sim, host, target, latency=0.001)
         target.associate_host(host)
         # Prefer the new SN for future connections: reorder first hops.
-        host._first_hops.sort(key=lambda sn: sn.address != target.address)
+        host.prefer_first_hop(target.address)
         if self.lookup is not None:
             record = self.lookup.address_record(host.address)
             if record is not None:

@@ -164,6 +164,14 @@ class TerminusOffloadEngine:
     def remove_program(self, service_id: int) -> None:
         self._programs.pop(service_id, None)
 
+    def program_ids(self) -> tuple[int, ...]:
+        """Service IDs with an installed program (inspection/tests)."""
+        return tuple(self._programs)
+
+    def programs(self) -> tuple[OffloadProgram, ...]:
+        """All installed programs (inspection/tests)."""
+        return tuple(self._programs.values())
+
     def has_program(self, service_id: int) -> bool:
         """Cheap datapath guard: does any program exist for this service?
 

@@ -127,7 +127,7 @@ class ILPPacket:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class RawIPPacket:
     """A legacy (non-ILP) packet for backwards-compatibility tests.
 

@@ -42,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
+from .. import sanitize as _san
 from .decision_cache import Action, CacheKey, Decision, DecisionCache
 from .ilp import Flags, ILPError, ILPHeader, TLV
 from .ipc import CostModel, InvocationChannel, InvocationMode
@@ -57,7 +58,28 @@ if TYPE_CHECKING:  # pragma: no cover
 _QOS_UNSET = object()
 
 
-@dataclass
+def _san_check_header_wire(header: ILPHeader, wire: bytes) -> None:
+    """Armed check: the wire form must equal a from-scratch re-encode.
+
+    Catches a stale encode() memo (or a caller-passed ``encoded`` that has
+    drifted from the header object) before the bytes are sealed for a peer.
+    """
+    fresh = ILPHeader(
+        service_id=header.service_id,
+        connection_id=header.connection_id,
+        flags=header.flags,
+        tlvs=dict(header.tlvs),
+    ).encode()
+    if fresh != wire:
+        _san.fail(
+            "header-reencode",
+            f"wire form ({len(wire)}B) diverges from field re-encode "
+            f"({len(fresh)}B) for service {header.service_id} "
+            f"connection {header.connection_id}",
+        )
+
+
+@dataclass(slots=True)
 class TerminusStats:
     packets_in: int = 0
     packets_out: int = 0
@@ -75,6 +97,21 @@ class TerminusStats:
 
 class PipeTerminus:
     """Fast-path packet engine of one service node."""
+
+    __slots__ = (
+        "node_address",
+        "keystore",
+        "cache",
+        "env",
+        "_transmit",
+        "channel",
+        "_clock",
+        "cost_model",
+        "offload",
+        "stats",
+        "pending_delay",
+        "peer_activity",
+    )
 
     def __init__(
         self,
@@ -221,7 +258,7 @@ class PipeTerminus:
         )
         decision = self.cache.lookup(key, now=now)
         if decision is not None:
-            self._apply_decision(decision, header, packet.payload)
+            self.apply_decision(decision, header, packet.payload)
             self.stats.fast_path += 1
             return
         self._miss_path(peer, header, packet, now)
@@ -344,9 +381,10 @@ class PipeTerminus:
                     stats.packets_out += 1
 
     # -- fast path --------------------------------------------------------
-    def _apply_decision(
+    def apply_decision(
         self, decision: Decision, header: ILPHeader, payload: Payload
     ) -> None:
+        """Apply one (cached or recomputed) decision to a single packet."""
         if decision.action is Action.DROP:
             self.stats.drops_by_decision += 1
             return
@@ -365,6 +403,10 @@ class PipeTerminus:
                 self.send(
                     target.peer, header, payload, encoded=encoded, qos_src=qos_src
                 )
+
+    def set_transmit(self, transmit: Callable[[str, ILPPacket], bool]) -> None:
+        """Replace the transmit hook (tests, fault injection, rewiring)."""
+        self._transmit = transmit
 
     # -- slow path ----------------------------------------------------------
     def _punt(self, header: ILPHeader, packet: ILPPacket) -> None:
@@ -418,7 +460,10 @@ class PipeTerminus:
         if ctx is None:
             self.stats.drops_no_peer += 1
             return False
-        wire = ctx.seal(header.encode() if encoded is None else encoded)
+        wire_plain = header.encode() if encoded is None else encoded
+        if _san.ENABLED:
+            _san_check_header_wire(header, wire_plain)
+        wire = ctx.seal(wire_plain)
         out = ILPPacket(
             l3=L3Header(src=self.node_address, dst=peer),
             ilp_wire=wire,
@@ -455,6 +500,9 @@ class PipeTerminus:
         if ctx is None:
             stats.drops_no_peer += len(run)
             return 0
+        if _san.ENABLED:
+            # One check per run: the run shares a single wire form.
+            _san_check_header_wire(ILPHeader.decode(encoded), encoded)
         wires = ctx.seal_run(encoded, len(run))
         l3 = L3Header(src=self.node_address, dst=peer)
         created = self._clock()

@@ -20,6 +20,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import sanitize as _san
 from . import crypto
 
 _HEADER_FMT = ">B8s"
@@ -30,7 +31,7 @@ class PSPError(Exception):
     """Raised on malformed PSP blobs or undecryptable packets."""
 
 
-@dataclass
+@dataclass(slots=True)
 class PSPStats:
     packets_sealed: int = 0
     packets_opened: int = 0
@@ -46,6 +47,17 @@ class PSPContext:
     at association time — host↔SN registration or SN↔SN pipe setup).
     """
 
+    __slots__ = (
+        "_master",
+        "_epoch",
+        "_keys",
+        "_seal_key",
+        "_prefix",
+        "_nonce",
+        "stats",
+        "_san_hwm",
+    )
+
     def __init__(self, master_secret: bytes, epoch: int = 0) -> None:
         if len(master_secret) < 16:
             raise PSPError("master secret too short")
@@ -60,10 +72,41 @@ class PSPContext:
         self._prefix = bytes([self._epoch])
         self._nonce = crypto.NonceGenerator()
         self.stats = PSPStats()
+        #: Sanitizer state: per-epoch high-water mark of sealed nonces.
+        self._san_hwm: dict[int, int] = {}
 
     @property
     def epoch(self) -> int:
         return self._epoch
+
+    @property
+    def seal_schedule(self) -> crypto.SealingKey:
+        """The key schedule currently used to seal (the active epoch's)."""
+        return self._seal_key
+
+    def known_epochs(self) -> tuple[int, ...]:
+        """Epochs this context can currently open, oldest first."""
+        return tuple(sorted(self._keys))
+
+    def cached_schedule(self, epoch: int) -> Optional[crypto.SealingKey]:
+        """The resident schedule for ``epoch``, or None (never derives)."""
+        return self._keys.get(epoch)
+
+    def _san_check_nonce(self, nonce: bytes) -> None:
+        """Armed check: nonces within one epoch must strictly increase.
+
+        Nonce reuse under one key voids the keystream's confidentiality, so
+        any repeat or regression is an immediate
+        :class:`~repro.sanitize.SanitizeError`.
+        """
+        value = int.from_bytes(nonce, "big")
+        high = self._san_hwm.get(self._epoch, 0)
+        if value <= high:
+            _san.fail(
+                "nonce-monotonic",
+                f"epoch {self._epoch} sealed nonce {value} after {high}",
+            )
+        self._san_hwm[self._epoch] = value
 
     def _epoch_key(self, epoch: int) -> bytes:
         return crypto.derive_key(self._master, "psp-epoch", bytes([epoch]))
@@ -99,6 +142,8 @@ class PSPContext:
         ``ciphertext + tag`` copy, no struct call).
         """
         nonce = self._nonce.next()
+        if _san.ENABLED:
+            self._san_check_nonce(nonce)
         out = bytearray(self._prefix)
         out += nonce
         self._seal_key.seal_into(out, nonce, plaintext, aad)
@@ -117,11 +162,14 @@ class PSPContext:
         seal_into = self._seal_key.seal_into
         prefix = self._prefix
         nonce_next = self._nonce.next
+        san_check = self._san_check_nonce if _san.ENABLED else None
         out: list[bytes] = []
         append = out.append
         total = 0
         for plaintext in plaintexts:
             nonce = nonce_next()
+            if san_check is not None:
+                san_check(nonce)
             buf = bytearray(prefix)
             buf += nonce
             seal_into(buf, nonce, plaintext, aad)
@@ -140,9 +188,11 @@ class PSPContext:
         :meth:`crypto.SealingKey.seal_frames` hoist everything that does not
         depend on the nonce out of the per-packet loop.
         """
-        frames = self._seal_key.seal_frames(
-            self._prefix, self._nonce.take(count), plaintext, aad
-        )
+        nonces = self._nonce.take(count)
+        if _san.ENABLED:
+            for nonce in nonces:
+                self._san_check_nonce(nonce)
+        frames = self._seal_key.seal_frames(self._prefix, nonces, plaintext, aad)
         stats = self.stats
         stats.packets_sealed += count
         stats.bytes_sealed += count * len(plaintext)
@@ -220,7 +270,7 @@ class PSPContext:
         return _HEADER_SIZE + crypto.TAG_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class PeerKeyStore:
     """Per-node table of PSP contexts, keyed by peer address.
 

@@ -40,6 +40,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from .. import sanitize as _san
 from ..netsim.engine import PeriodicTask
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
@@ -284,7 +285,7 @@ class PipeHealthMonitor:
                     self.on_peer_dead(address)
 
     def _send(self, peer: str, reply: bool, seq: int) -> None:
-        node = self.sn._addr_to_node.get(peer)
+        node = self.sn.peer_node(peer)
         if node is None or not self.sn.has_link_to(node):
             return
         frame = KeepaliveFrame(src=self.sn.address, dst=peer, seq=seq, reply=reply)
@@ -442,6 +443,42 @@ class FailoverCoordinator:
                 "membership_purged": purged,
             }
         )
+        if _san.ENABLED:
+            self._san_check_failover(edomain, dead, alternate)
+
+    def _san_check_failover(self, edomain: Any, dead: str, alternate: str) -> None:
+        """Armed postconditions: the dead border must be fully excised.
+
+        After a failover no surviving SN may hold fast-path state that
+        forwards via the dead SN, the edomain must advertise the promoted
+        alternate, and every remote edomain's store must name it too.
+        """
+        if edomain.border_address != alternate:
+            _san.fail(
+                "failover",
+                f"edomain {edomain.name} advertises border "
+                f"{edomain.border_address!r}, expected {alternate!r}",
+            )
+        for sn in self.net.all_sns():
+            if sn.address == dead:
+                continue
+            stale = sn.cache.count_targeting(dead)
+            if stale:
+                _san.fail(
+                    "failover",
+                    f"{sn.address} still caches {stale} decision(s) "
+                    f"forwarding via dead SN {dead}",
+                )
+        for remote in self.net.edomains.values():
+            if remote is edomain:
+                continue
+            published = remote.store.get(f"resilience/remote-border/{edomain.name}")
+            if published != alternate:
+                _san.fail(
+                    "failover",
+                    f"edomain {remote.name} maps {edomain.name}'s border to "
+                    f"{published!r}, expected {alternate!r}",
+                )
 
     # -- queries -----------------------------------------------------------
     def failovers(self) -> list[dict[str, Any]]:

@@ -141,6 +141,20 @@ class ServiceNode(NetNode):
     def has_pipe_to(self, address: str) -> bool:
         return self.keystore.has(address) and address in self._addr_to_node
 
+    def peer_node(self, address: str) -> Optional[NetNode]:
+        """The node object registered for a peer address, if any."""
+        return self._addr_to_node.get(address)
+
+    def teardown_pipe(self, address: str) -> None:
+        """Drop the PSP association and routing entry for a peer.
+
+        Cache entries forwarding via the peer are the caller's concern
+        (:meth:`~repro.core.decision_cache.DecisionCache.invalidate_by_target`);
+        this only removes the association-level state.
+        """
+        self.keystore.remove(address)
+        self._addr_to_node.pop(address, None)
+
     def set_border_peer(self, edomain: str, via_address: str) -> None:
         """Record which local peer reaches ``edomain`` (§3.2 mapping)."""
         self._border_peers[edomain] = via_address
@@ -167,10 +181,9 @@ class ServiceNode(NetNode):
         if edomain is None:
             return None
         if edomain == self.edomain_name:
-            if self.has_pipe_to(dest_sn):
-                return dest_sn
-            # Not in the mesh (e.g. a customer-premise gateway): route
-            # toward its registered uplink SN instead.
+            # No direct pipe (checked above), so the destination is not in
+            # the mesh (e.g. a customer-premise gateway): route toward its
+            # registered uplink SN instead.
             via = self.directory.via_of(dest_sn)
             if via is not None and via != self.address:
                 return self.next_hop_for_sn(via)
@@ -324,7 +337,7 @@ class ServiceNode(NetNode):
         cached = self.cache.lookup(key, now=self.sim.now)
         self.terminus.pending_delay = self.cost_model.terminus_latency
         if cached is not None:
-            self.terminus._apply_decision(cached, header, packet.payload)
+            self.terminus.apply_decision(cached, header, packet.payload)
             return
         current = header
         for module in cfg.chain:

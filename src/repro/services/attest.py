@@ -71,6 +71,15 @@ class AttestationClient:
     on_result: Optional[Callable[[bool], None]] = None
     _nonce: bytes = b""
 
+    @property
+    def challenge_nonce(self) -> bytes:
+        """The nonce of the outstanding challenge (empty when none)."""
+        return self._nonce
+
+    @challenge_nonce.setter
+    def challenge_nonce(self, nonce: bytes) -> None:
+        self._nonce = nonce
+
     def install(self) -> None:
         self.host.on_service_control(
             WellKnownService.ATTESTATION, self._on_packet

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -72,7 +73,9 @@ class MixnetService(ServiceModule):
 
     def on_attach(self) -> None:
         assert self.ctx is not None
-        self._rng = random.Random(hash(self.ctx.node_address) & 0xFFFFFFFF)
+        # Stable per-node seed: builtin hash() is PYTHONHASHSEED-randomized,
+        # which would make mix delays differ between otherwise identical runs.
+        self._rng = random.Random(zlib.crc32(self.ctx.node_address.encode()))
 
     def handle_packet(self, header: ILPHeader, packet: Any) -> Verdict:
         assert self.ctx is not None

@@ -336,6 +336,28 @@ class PubSubService(MultipointService):
             emits.append(Emit(target, out, make_payload(message)))
         return Verdict(emits=emits)
 
+    def retained(self, group: str) -> list[bytes]:
+        """The currently retained messages for a topic, oldest first."""
+        return list(self._retained.get(group, ()))
+
+    def retain(self, group: str, message: bytes) -> None:
+        """Append a message to a topic's retention buffer directly.
+
+        Tests and state-seeding paths use this; the data path goes through
+        ``_on_publish``.
+        """
+        self._retained.setdefault(group, deque(maxlen=self.retention)).append(
+            message
+        )
+
+    def set_retention(self, retention: int) -> None:
+        """Change the per-topic retention bound, trimming oldest first."""
+        self.retention = retention
+        self._retained = {
+            group: deque(buffer, maxlen=retention)
+            for group, buffer in self._retained.items()
+        }
+
     def checkpoint(self) -> dict[str, Any]:
         return {
             "retained": {k: list(v) for k, v in self._retained.items()},

@@ -124,8 +124,7 @@ class ODNSResolver:
         conn = self.host.connect(
             WellKnownService.ODNS, dest_sn=proxy_sn, allow_direct=False
         )
-        conn.connection_id = conn_id  # keep the proxy's correlator
-        self.host._connections[conn_id] = conn
+        self.host.adopt_connection(conn, conn_id)  # keep the proxy's correlator
         self.host.send(conn, blob, extra_tlvs=reply, first=False)
 
     def host_crypto(self):

@@ -181,8 +181,7 @@ def reply_via_relay(host, conn_id: int, egress_sn: str, data: bytes) -> None:
     conn = host.connect(
         WellKnownService.PRIVATE_RELAY, dest_sn=egress_sn, allow_direct=False
     )
-    conn.connection_id = conn_id
-    host._connections[conn_id] = conn
+    host.adopt_connection(conn, conn_id)
     host.send(
         conn,
         data,

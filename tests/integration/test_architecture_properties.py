@@ -62,13 +62,11 @@ class TestResilience:
         primary = sn_of(net, "west", 0)
         standby = sn_of(net, "west", 1)
         pubsub = primary.env.service(WellKnownService.PUBSUB)
-        pubsub._retained.setdefault("topic", __import__("collections").deque()).append(
-            b"retained-msg"
-        )
+        pubsub.retain("topic", b"retained-msg")
         moved = primary.failover_to(standby)
         assert moved == len(primary.env.service_ids())
         standby_pubsub = standby.env.service(WellKnownService.PUBSUB)
-        assert list(standby_pubsub._retained["topic"]) == [b"retained-msg"]
+        assert standby_pubsub.retained("topic") == [b"retained-msg"]
 
     def test_host_reassociation_after_sn_failure(self, two_edomain_net):
         """Host-driven recovery: re-associate and resubscribe elsewhere."""
@@ -149,9 +147,11 @@ class TestPortability:
         net = two_edomain_net
         sn = sn_of(net, "east", 1)
         changes = []
-        sn.env.config.watch(lambda *args: changes.append(args))
+        watcher = lambda *args: changes.append(args)  # noqa: E731
+        sn.env.config.watch(watcher)
         sn.env.config.import_config({(1, "c", "k"): "v"})
         assert changes == [(1, "c", "k", "v")]
+        assert sn.env.config.unwatch(watcher) is True
 
 
 class TestPassThrough:

@@ -56,8 +56,7 @@ def coordination_world(two_edomain_net):
             dest_sn=ent_sn.address,  # the client's SN of record
             allow_direct=False,
         )
-        conn.connection_id = conn_id
-        origin._connections[conn_id] = conn
+        origin.adopt_connection(conn, conn_id)
         origin.send(conn, make_response(url, b"CONTENT"), first=False)
 
     origin.on_service_data(WellKnownService.CACHING_BUNDLE, serve)

@@ -93,8 +93,7 @@ class TestLinkFailure:
         # The direct pipe fails: tear down the association + link.
         direct_link = inner_w.link_to(inner_e)
         direct_link.set_down()
-        inner_w.keystore.remove(inner_e.address)
-        inner_w._addr_to_node.pop(inner_e.address, None)
+        inner_w.teardown_pipe(inner_e.address)
         # Flush stale fast-path state (eviction is always safe, §B).
         inner_w.cache.evict_random_fraction(1.0)
 

@@ -37,7 +37,7 @@ class TestOffloadProperties:
                 )
             except OffloadError:
                 pass
-        for program in engine._programs.values():
+        for program in engine.programs():
             assert len(program.rules) <= quota
 
     @given(

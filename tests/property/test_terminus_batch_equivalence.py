@@ -108,7 +108,7 @@ class _Rig:
         self.node = ServiceNode(self.sim, "sn", SN_ADDR)
         self.terminus = self.node.terminus
         self.sent: list[tuple] = []
-        self.terminus._transmit = self._sink
+        self.terminus.set_transmit(self._sink)
         self.tx: dict[str, PSPContext] = {}
         for peer in (PEER_A, PEER_B):
             secret = pairwise_secret(SN_ADDR, peer)
@@ -170,16 +170,7 @@ class _Rig:
         return {
             "terminus": asdict(self.terminus.stats),
             "cache_stats": asdict(cache.stats),
-            "cache_entries": [
-                (
-                    key,
-                    entry.decision,
-                    entry.hits,
-                    entry.installed_at,
-                    entry.last_hit_at,
-                )
-                for key, entry in cache._entries.items()
-            ],
+            "cache_entries": cache.snapshot_entries(),
             "psp": {
                 peer: asdict(ctx.stats)
                 for peer, ctx in self.node.keystore.contexts.items()

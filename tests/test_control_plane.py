@@ -111,11 +111,17 @@ class TestLookup:
     def test_group_edomain_tracking_and_watch(self):
         lookup = GlobalLookupService()
         events = []
-        lookup.watch_group("g", lambda g, op, e: events.append((op, e)))
+        watcher = lambda g, op, e: events.append((op, e))  # noqa: E731
+        lookup.watch_group("g", watcher)
         assert lookup.add_group_edomain("g", "west") is True
         assert lookup.add_group_edomain("g", "west") is False
         assert lookup.group_edomains("g") == {"west"}
         lookup.remove_group_edomain("g", "west")
+        assert events == [("add", "west"), ("remove", "west")]
+        # Teardown: an unwatched callback sees no further updates.
+        assert lookup.unwatch_group("g", watcher) is True
+        assert lookup.unwatch_group("g", watcher) is False
+        lookup.add_group_edomain("g", "east")
         assert events == [("add", "west"), ("remove", "west")]
 
     def test_service_directory(self):

@@ -229,10 +229,11 @@ class TestEpochRotationEdgeCases:
         a, b = self._pair()
         a.rotate()
         assert b.open(a.seal(b"first")) == b"first"
-        assert (a.epoch) in b._keys  # derived once, retained
-        schedule = b._keys[a.epoch]
+        assert a.epoch in b.known_epochs()  # derived once, retained
+        schedule = b.cached_schedule(a.epoch)
+        assert schedule is not None
         assert b.open(a.seal(b"second")) == b"second"
-        assert b._keys[a.epoch] is schedule  # not re-derived
+        assert b.cached_schedule(a.epoch) is schedule  # not re-derived
 
     def test_two_epochs_ahead_rejected(self):
         a, b = self._pair()
@@ -243,7 +244,7 @@ class TestEpochRotationEdgeCases:
             b.open(blob)
         assert b.stats.auth_failures == 1
         # The rejected epoch must not have been cached.
-        assert a.epoch not in b._keys
+        assert a.epoch not in b.known_epochs()
 
     def test_two_behind_rejected_after_double_rotation(self):
         """The receiver only keeps current + previous epochs."""
@@ -258,8 +259,8 @@ class TestEpochRotationEdgeCases:
     def test_rotation_builds_schedule_once(self):
         a, _ = self._pair()
         a.rotate()
-        assert a._keys[a.epoch] is a._seal_key
-        assert len(a._keys) == 2  # current + previous only, forever
+        assert a.cached_schedule(a.epoch) is a.seal_schedule
+        assert len(a.known_epochs()) == 2  # current + previous only, forever
 
 
 class TestPairwiseSecret:

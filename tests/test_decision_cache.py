@@ -160,15 +160,9 @@ class TestConnectionIndex:
     the table through installs, evictions, and invalidations."""
 
     def _assert_index_consistent(self, cache: DecisionCache) -> None:
-        indexed = {k for members in cache._by_conn.values() for k in members}
-        assert indexed == set(cache._entries)
-        assert set(cache._key_list) == set(cache._entries)
-        assert len(cache._key_list) == len(cache._entries)
-        assert all(
-            cache._key_list[pos] == k for k, pos in cache._key_pos.items()
-        )
-        # No empty index buckets are retained.
-        assert all(members for members in cache._by_conn.values())
+        # Raises SanitizeError on any table/index divergence, including
+        # retained empty buckets and stale key-list positions.
+        cache.check_index_coherence()
 
     def test_index_tracks_install_and_invalidate(self):
         cache = DecisionCache(capacity=64)

@@ -4,6 +4,7 @@ from typing import Any
 
 import pytest
 
+from repro import sanitize
 from repro.core.decision_cache import Action, CacheKey, Decision, DecisionCache, ForwardTarget
 from repro.core.execution_env import ExecutionEnvironment
 from repro.core.ilp import Flags, ILPHeader, TLV
@@ -46,7 +47,9 @@ class _Fixture:
         self.node = ServiceNode(self.sim, "sn", SN_ADDR)
         self.terminus = self.node.terminus
         self.sent: list[tuple[str, ILPPacket]] = []
-        self.terminus._transmit = lambda peer, pkt: (self.sent.append((peer, pkt)), True)[1]
+        self.terminus.set_transmit(
+            lambda peer, pkt: (self.sent.append((peer, pkt)), True)[1]
+        )
         self.peers = {}
         for peer in (PEER_A, PEER_B):
             secret = pairwise_secret(SN_ADDR, peer)
@@ -312,11 +315,15 @@ class TestPreEncodedSend:
             encode_calls += 1
             return original_encode(self)
 
+        # The sanitizer's scratch re-encode would inflate the count; this
+        # test measures the production fast path, so pin it off.
+        was_sanitizing = sanitize.set_enabled(False)
         ILPHeader.encode = counting_encode
         try:
             fx.terminus.receive(pkt)
         finally:
             ILPHeader.encode = original_encode
+            sanitize.set_enabled(was_sanitizing)
         assert [p for p, _ in fx.sent] == [PEER_A, PEER_B]
-        # _apply_decision encodes once; send() reuses the provided bytes.
+        # apply_decision encodes once; send() reuses the provided bytes.
         assert encode_calls == 1

@@ -139,8 +139,7 @@ class TestCachingBundle:
                 dest_addr=requester,
                 allow_direct=False,
             )
-            conn.connection_id = conn_id
-            origin._connections[conn_id] = conn
+            origin.adopt_connection(conn, conn_id)
             origin.send(conn, make_response(url, b"ORIGIN-BODY"), first=False)
 
         origin.on_service_data(WellKnownService.CACHING_BUNDLE, serve)

@@ -208,19 +208,15 @@ class TestPubSub:
         net = two_edomain_net
         sn0 = topo(net)[0]
         module = sn0.env.service(self.SVC)
-        module.retention = 2
-        module._retained.clear()
+        module.set_retention(2)
         pub = net.add_host(sn0, name="pub")
         open_group(net, pub, "log")
         register_sender(pub, self.SVC, "log")
         net.run(1.0)
-        # Rebuild buffers with the new bound.
         for i in range(5):
             publish(pub, self.SVC, "log", f"e{i}".encode())
         net.run(1.0)
-        # Buffer was created before retention change in on_publish? No:
-        # cleared above, so maxlen=2 applies.
-        assert list(module._retained["log"]) == [b"e3", b"e4"]
+        assert module.retained("log") == [b"e3", b"e4"]
 
     def test_checkpoint_restores_retention(self, two_edomain_net):
         net = two_edomain_net
@@ -235,5 +231,5 @@ class TestPubSub:
         state = module.checkpoint()
         fresh = type(module)()
         fresh.restore(state)
-        assert list(fresh._retained["log"]) == [b"precious"]
+        assert fresh.retained("log") == [b"precious"]
         assert fresh.published == module.published

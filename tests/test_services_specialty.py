@@ -313,7 +313,7 @@ class TestAttestationService:
         )
         client.install()
         client.challenge(b"nonce-A")
-        client._nonce = b"nonce-B"  # verifier expects something else
+        client.challenge_nonce = b"nonce-B"  # verifier expects something else
         net.run(1.0)
         assert client.results == [False]
 
