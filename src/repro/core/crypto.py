@@ -219,6 +219,62 @@ class SealingKey:
             append(prefix + nonce + ciphertext + outer.digest()[:TAG_SIZE])
         return frames
 
+    def seal_scatter(
+        self,
+        prefix: bytes,
+        runs: list[tuple[list[bytes], bytes]],
+        aad: bytes = b"",
+    ) -> list[bytes]:
+        """Seal many ``(nonces, plaintext)`` runs into framed blobs, flat.
+
+        The scatter-gather egress primitive: a terminus coalescing several
+        flow groups toward one next hop seals each group's header wire form
+        under that group's nonce span, with the hash-state bases and framing
+        loaded once for the whole scatter. Output order is run-major —
+        ``runs[0]``'s frames, then ``runs[1]``'s — and each frame is
+        byte-identical to :meth:`seal_frames` on the same (nonces,
+        plaintext) pair.
+        """
+        ks_base = self._ks_base
+        mac_inner = self._mac_inner
+        mac_outer = self._mac_outer
+        ctr0 = _CTR[0]
+        keystream = self.keystream
+        tag_size = TAG_SIZE
+        frames: list[bytes] = []
+        append = frames.append
+        for nonces, plaintext in runs:
+            n = len(plaintext)
+            if nonces and len(nonces[0]) != NONCE_SIZE:
+                raise CryptoError(f"nonce must be {NONCE_SIZE} bytes")
+            pt_int = int.from_bytes(plaintext, "big")
+            single_block = n <= _BLOCK
+            for nonce in nonces:
+                if single_block:
+                    h = ks_base.copy()
+                    h.update(nonce)
+                    h.update(ctr0)
+                    stream = h.digest()
+                    if n:
+                        ciphertext = (
+                            pt_int ^ int.from_bytes(stream[:n], "big")
+                        ).to_bytes(n, "big")
+                    else:
+                        ciphertext = b""
+                else:
+                    ciphertext = (
+                        pt_int ^ int.from_bytes(keystream(nonce, n), "big")
+                    ).to_bytes(n, "big")
+                inner = mac_inner.copy()
+                inner.update(nonce)
+                if aad:
+                    inner.update(aad)
+                inner.update(ciphertext)
+                outer = mac_outer.copy()
+                outer.update(inner.digest())
+                append(prefix + nonce + ciphertext + outer.digest()[:tag_size])
+        return frames
+
     def open(self, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
         """Verify and decrypt output of :meth:`seal`.
 

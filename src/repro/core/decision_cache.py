@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 import random
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from .. import sanitize as _san
@@ -37,9 +37,29 @@ class Action(enum.Enum):
 
 @dataclass(frozen=True, slots=True)
 class CacheKey:
+    """Exact-match key: (L3 source, service ID, connection ID).
+
+    The hash is computed once at construction and cached in a slot: one
+    key probes several tables on the fast path (entry table, position map,
+    connection index) and the sharding stage batches many keys through
+    :meth:`DecisionCache.lookup_many`, so the per-probe tuple hash is
+    hoisted to construction time.
+    """
+
     src: str
     service_id: int
     connection_id: int
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        # In-process dict-probe memo only: same per-process semantics as
+        # the builtin tuple hash it replaces, never persisted or replayed.
+        # repro: allow(DET001) dict-probe memo, not replayed state
+        h = hash((self.src, self.service_id, self.connection_id))
+        object.__setattr__(self, "_hash", h)
+
+    def __hash__(self) -> int:
+        return self._hash
 
 
 @dataclass(frozen=True, slots=True)
@@ -212,6 +232,65 @@ class DecisionCache:
         if self.policy is EvictionPolicy.LRU:
             self._entries.move_to_end(key)
         return entry.decision
+
+    def lookup_many(
+        self,
+        keys: list[CacheKey],
+        counts: Optional[list[int]] = None,
+        now: float = 0.0,
+    ) -> list[Optional[Decision]]:
+        """Query many keys in one pass; ``out[i]`` is ``keys[i]``'s decision.
+
+        With ``counts`` (the sharding stage's shape: one entry per flow
+        group, ``counts[i]`` packets behind ``keys[i]``), each hit is
+        charged with :meth:`lookup_run` bookkeeping — ``counts[i]``
+        lookups/hits, one ``last_hit_at`` stamp, one LRU touch — and each
+        miss charges *nothing* (the caller replays the group per-packet
+        through scalar lookups, which count themselves).
+
+        Without ``counts``, every key is charged exactly like a scalar
+        :meth:`lookup` call, misses included.
+
+        Duplicate keys are fine: later occurrences see the same entry and
+        stack their bookkeeping, exactly as repeated scalar calls would.
+        The table itself is probed once per key either way.
+        """
+        entries_get = self._entries.get
+        stats = self.stats
+        lru = self.policy is EvictionPolicy.LRU
+        move_to_end = self._entries.move_to_end
+        out: list[Optional[Decision]] = []
+        append = out.append
+        if counts is None:
+            stats.lookups += len(keys)
+            for key in keys:
+                entry = entries_get(key)
+                if entry is None:
+                    stats.misses += 1
+                    append(None)
+                    continue
+                entry.hits += 1
+                entry.last_hit_at = now
+                if lru:
+                    move_to_end(key)
+                stats.hits += 1
+                append(entry.decision)
+            return out
+        hits = 0
+        for key, count in zip(keys, counts):
+            entry = entries_get(key)
+            if entry is None:
+                append(None)
+                continue
+            hits += count
+            entry.hits += count
+            entry.last_hit_at = now
+            if lru:
+                move_to_end(key)
+            append(entry.decision)
+        stats.lookups += hits
+        stats.hits += hits
+        return out
 
     def install(self, key: CacheKey, decision: Decision, now: float = 0.0) -> None:
         """Install or replace an entry, evicting if at capacity."""

@@ -26,6 +26,11 @@ _FIXED_SIZE = struct.calcsize(_FIXED_FMT)
 _TLV_FMT = ">BH"
 _TLV_HEADER = struct.calcsize(_TLV_FMT)
 
+#: Byte offset of the flags field in an encoded header (after version and
+#: service ID). The terminus burst-sharding stage peeks at this byte to
+#: spot slow-path packets without decoding the whole header.
+FLAGS_WIRE_OFFSET = struct.calcsize(">BH")
+
 
 class ILPError(Exception):
     """Raised on malformed ILP headers."""

@@ -14,27 +14,50 @@ Every packet entering an SN hits the pipe-terminus, which:
 The terminus is deliberately free of service logic; it is the part the
 paper expects to land in switch ASICs eventually (Appendix B.1).
 
-Flow-run batching
------------------
+Flow-run batching and burst sharding
+------------------------------------
 
 :meth:`PipeTerminus.receive_batch` processes a burst the way the paper's
 ASIC terminus would pipeline it: one decrypt pass over the burst
 (:meth:`~repro.core.psp.PSPContext.open_batch` per same-peer span), then
 consecutive packets carrying the *same* plaintext header from the same
-peer form a **flow run** that is decoded once, looked up in the decision
-cache once (:meth:`~repro.core.decision_cache.DecisionCache.lookup_run`),
-header-encoded once, and sealed/transmitted via :meth:`send_run` with the
-sealing-key schedule hoisted out of the per-packet loop. Everything
-observable — stats, cache contents, transmitted wire bytes and their
-order — is identical to calling :meth:`receive` per packet: cold runs
-(cache miss) replay per-packet because the first packet's punt may
-install the decision the rest of the run then hits, and CONTROL/LAST
-packets still punt individually with a fresh header each (services may
-retain or mutate what they are handed).
+peer form a **flow run** that shares one decode, one decision-cache
+probe, one header encode, and a schedule-hoisted seal.
 
-Like the ASIC pipeline it models, the batched decrypt assumes a slow-path
-verdict does not retire the PSP association of packets already in flight
-within the same burst.
+On top of the runs sits the **burst-sharding stage** (software RSS/GRO):
+runs from the same flow — identical (peer, header plaintext) — that are
+*not* adjacent in the burst are merged into one **flow group**, so a
+fully interleaved burst (run length 1) regains the amortization a
+flow-local burst gets for free. Groups are looked up in one
+:meth:`~repro.core.decision_cache.DecisionCache.lookup_many` pass and
+their egress is coalesced per next hop
+(:meth:`send_gather` → :meth:`~repro.core.psp.PSPContext.seal_gather`).
+
+Reordering discipline. Sharding regroups packets *across* flows but
+never within one: a flow's packets stay in arrival order through decode,
+decision, seal, and transmit, so every per-flow observable — the
+sequence of forwarded headers, payloads, and QoS annotations, and (when
+flows do not share an egress association) the exact wire bytes — is
+identical to per-packet :meth:`receive`. This is sound because ILP's
+PSP-style header crypto is explicitly order-independent per packet (§4:
+the nonce travels with the packet; receivers impose no inter-packet
+state), so cross-flow delivery order within one burst is not part of
+wire semantics — the same liberty a multi-queue NIC takes when RSS
+steers flows to different queues. Packets whose header sets a
+``SLOW_PATH`` flag (CONTROL/LAST) act as **barriers**: everything that
+arrived before one is processed before it, everything after it, after —
+teardown and control ordering is preserved exactly, and such packets
+still punt individually with a fresh header each (services may retain
+or mutate what they are handed).
+
+Cold groups (cache miss) replay per-packet because the first packet's
+punt may install the decision the rest of the group then hits. Like the
+ASIC pipeline it models, the batched path assumes a slow-path verdict
+within a burst does not retire the PSP association of packets already in
+flight, and that verdicts only mutate their *own* connection's fast-path
+state (cross-flow installs/invalidations take effect at the next
+delivery event, exactly as they would across the boundary of a hardware
+pipeline stage).
 """
 
 from __future__ import annotations
@@ -44,11 +67,11 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from .. import sanitize as _san
 from .decision_cache import Action, CacheKey, Decision, DecisionCache
-from .ilp import Flags, ILPError, ILPHeader, TLV
+from .ilp import FLAGS_WIRE_OFFSET, Flags, ILPError, ILPHeader, TLV
 from .ipc import CostModel, InvocationChannel, InvocationMode
 from .offload import ActionKind, TerminusOffloadEngine
 from .packet import ILPPacket, L3Header, Payload
-from .psp import PSPError, PeerKeyStore
+from .psp import PSPContext, PSPError, PeerKeyStore
 from .service_module import ServiceError, Verdict
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -77,6 +100,23 @@ def _san_check_header_wire(header: ILPHeader, wire: bytes) -> None:
             f"({len(fresh)}B) for service {header.service_id} "
             f"connection {header.connection_id}",
         )
+
+
+@dataclass(slots=True)
+class ShardStats:
+    """Burst-sharding stage counters.
+
+    Kept separate from :class:`TerminusStats` so the per-packet/batched
+    stats-equality contract is untouched: sharding is an internal
+    scheduling choice, not a packet outcome.
+    """
+
+    bursts: int = 0
+    segments: int = 0
+    groups: int = 0
+    merged_runs: int = 0
+    gathered_packets: int = 0
+    barrier_flushes: int = 0
 
 
 @dataclass(slots=True)
@@ -109,6 +149,7 @@ class PipeTerminus:
         "cost_model",
         "offload",
         "stats",
+        "shard_stats",
         "pending_delay",
         "peer_activity",
     )
@@ -136,6 +177,7 @@ class PipeTerminus:
         #: consulted between the decision cache and the slow-path punt.
         self.offload = TerminusOffloadEngine()
         self.stats = TerminusStats()
+        self.shard_stats = ShardStats()
         #: Simulated-time processing delay to apply to the packets produced
         #: by the *current* ingress event; read by the node's transmit hook.
         self.pending_delay = 0.0
@@ -159,15 +201,18 @@ class PipeTerminus:
     def receive_batch(self, packets) -> int:
         """Process a burst of packets arriving back-to-back.
 
-        The batch ingress amortizes work at two levels. Per burst: the
+        The batch ingress amortizes work at three levels. Per burst: the
         clock is read once and the terminus processing delay is charged
         once (slow-path punts inside the batch still add their own
         invocation latency). Per flow run — consecutive packets from one
-        peer carrying identical header plaintext: one decode, one
-        decision-cache lookup, one header encode, one ``qos_src``
-        extraction, and a schedule-hoisted seal/transmit loop. Semantics
-        are identical to calling :meth:`receive` per packet (see module
-        docstring for the equivalence argument).
+        peer carrying identical header plaintext: one decrypt span. Per
+        flow *group* — all of a flow's runs between two slow-path
+        barriers, merged by the sharding stage: one decode, one
+        decision-cache probe (batched via ``lookup_many``), one header
+        encode, one ``qos_src`` extraction, and a gather-coalesced
+        seal/transmit. Per-flow semantics are identical to calling
+        :meth:`receive` per packet (see module docstring for the
+        equivalence contract and the cross-flow reordering discipline).
 
         Returns the number of packets processed.
         """
@@ -203,9 +248,16 @@ class PipeTerminus:
                 extend(opened)
             i = j
 
-        # Pass 2 — group flow runs (same peer, identical plaintext) and
-        # process each run with amortized decode/lookup/encode/seal.
+        # Pass 2 — burst sharding: merge flow runs (same peer, identical
+        # plaintext) into flow groups, keeping each flow's packets in
+        # arrival order. Slow-path packets are barriers: every group that
+        # opened before one is flushed before it runs, and a fresh segment
+        # starts after it.
+        shard = self.shard_stats
+        shard.bursts += 1
+        flush_segment = self._flush_segment
         process_run = self._process_run
+        open_groups: dict[tuple[str, bytes], list[ILPPacket]] = {}
         i = 0
         while i < n_in:
             plain = plains[i]
@@ -216,8 +268,25 @@ class PipeTerminus:
             j = i + 1
             while j < n_in and plains[j] == plain and peers[j] == peer:
                 j += 1
-            process_run(peer, plain, packets[i:j], now)
+            if (
+                len(plain) > FLAGS_WIRE_OFFSET
+                and plain[FLAGS_WIRE_OFFSET] & Flags.SLOW_PATH
+            ):
+                if open_groups:
+                    flush_segment(open_groups, now)
+                    open_groups = {}
+                shard.barrier_flushes += 1
+                process_run(peer, plain, packets[i:j], now)
+            else:
+                group = open_groups.get((peer, plain))
+                if group is None:
+                    open_groups[(peer, plain)] = packets[i:j]
+                else:
+                    group.extend(packets[i:j])
+                    shard.merged_runs += 1
             i = j
+        if open_groups:
+            flush_segment(open_groups, now)
 
         stats.packets_in += n_in
         return n_in
@@ -380,6 +449,91 @@ class PipeTerminus:
                 if transmit(peer, out):
                     stats.packets_out += 1
 
+    # -- burst sharding ---------------------------------------------------
+    def _flush_segment(
+        self,
+        groups: dict[tuple[str, bytes], list[ILPPacket]],
+        now: float,
+    ) -> None:
+        """Decide and egress one barrier-delimited segment of flow groups.
+
+        One decode per group, one :meth:`DecisionCache.lookup_many` pass
+        over every group's key, then egress in group (first-appearance)
+        order. Consecutive single-target hit groups coalesce into a
+        per-next-hop gather; anything that can emit through another code
+        path — cold replays (punt verdicts emit), multi-target fan-out,
+        TLV rewrites — flushes the gather first so emissions keep segment
+        order.
+        """
+        shard = self.shard_stats
+        shard.segments += 1
+        shard.groups += len(groups)
+        stats = self.stats
+        decoded: list[tuple[str, bytes, ILPHeader, list[ILPPacket]]] = []
+        keys: list[CacheKey] = []
+        counts: list[int] = []
+        for (peer, plain), run in groups.items():
+            try:
+                header = ILPHeader.decode(plain)
+            except ILPError:
+                stats.drops_malformed += len(run)
+                continue
+            decoded.append((peer, plain, header, run))
+            keys.append(
+                CacheKey(
+                    src=peer,
+                    service_id=header.service_id,
+                    connection_id=header.connection_id,
+                )
+            )
+            counts.append(len(run))
+        if not decoded:
+            return
+        decisions = self.cache.lookup_many(keys, counts, now=now)
+
+        gather: dict[str, list[tuple[bytes, Optional[str], list[ILPPacket]]]]
+        gather = {}
+
+        def flush_gather() -> None:
+            if not gather:
+                return
+            ctxs = self.keystore.prefetch(list(gather))
+            for g_peer, items in gather.items():
+                ctx = ctxs.get(g_peer)
+                if ctx is None:
+                    stats.drops_no_peer += sum(len(r) for _, _, r in items)
+                else:
+                    self.send_gather(g_peer, items, ctx=ctx)
+            gather.clear()
+
+        ingress_decoded = self._ingress_decoded
+        for (peer, plain, header, run), decision in zip(decoded, decisions):
+            if decision is None:
+                # Cold group: replay per-packet — the first packet's punt
+                # may install the decision the rest of the group then
+                # hits, and each scalar lookup counts itself.
+                flush_gather()
+                for packet in run:
+                    ingress_decoded(peer, plain, packet, now)
+                continue
+            stats.fast_path += len(run)
+            if decision.action is Action.DROP:
+                stats.drops_by_decision += len(run)
+                continue
+            targets = decision.targets
+            if len(targets) == 1 and not targets[0].tlv_updates:
+                items = gather.get(targets[0].peer)
+                entry = (header.encode(), header.get_str(TLV.SRC_HOST), run)
+                if items is None:
+                    gather[targets[0].peer] = [entry]
+                else:
+                    items.append(entry)
+                shard.gathered_packets += len(run)
+            else:
+                flush_gather()
+                self._apply_decision_run(decision, header, run)
+        flush_gather()
+
     # -- fast path --------------------------------------------------------
     def apply_decision(
         self, decision: Decision, header: ILPHeader, payload: Payload
@@ -518,5 +672,56 @@ class PipeTerminus:
             )
             if transmit(peer, out):
                 sent += 1
+        stats.packets_out += sent
+        return sent
+
+    def send_gather(
+        self,
+        peer: str,
+        items: list[tuple[bytes, Optional[str], list[ILPPacket]]],
+        *,
+        ctx: Optional[PSPContext] = None,
+    ) -> int:
+        """Seal several flow groups bound for one next hop in one gather.
+
+        ``items`` is ``[(encoded, qos_src, run), ...]`` in emission order.
+        The scatter-gather egress: one keystore probe (or a prefetched
+        ``ctx``), one :meth:`~repro.core.psp.PSPContext.seal_gather` with
+        the key schedule hoisted across every group, one outer L3 header,
+        one clock read. Per group the wire bytes equal a :meth:`send_run`
+        call in the same position of the egress context's nonce sequence.
+
+        Returns the number of packets transmitted.
+        """
+        if ctx is None:
+            ctx = self.keystore.contexts.get(peer)
+        stats = self.stats
+        if ctx is None:
+            stats.drops_no_peer += sum(len(run) for _, _, run in items)
+            return 0
+        if _san.ENABLED:
+            # One check per group: each group shares a single wire form.
+            for encoded, _qos, _run in items:
+                _san_check_header_wire(ILPHeader.decode(encoded), encoded)
+        wires = ctx.seal_gather(
+            [(encoded, len(run)) for encoded, _qos, run in items]
+        )
+        l3 = L3Header(src=self.node_address, dst=peer)
+        created = self._clock()
+        transmit = self._transmit
+        sent = 0
+        w = 0
+        for _encoded, qos_src, run in items:
+            for packet in run:
+                out = ILPPacket(
+                    l3=l3,
+                    ilp_wire=wires[w],
+                    payload=packet.payload,
+                    created_at=created,
+                    qos_src=qos_src,
+                )
+                w += 1
+                if transmit(peer, out):
+                    sent += 1
         stats.packets_out += sent
         return sent

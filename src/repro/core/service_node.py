@@ -385,7 +385,9 @@ class ServiceNode(NetNode):
             return True
         delay = self.terminus.pending_delay
         if delay > 0:
-            self.sim.schedule(delay, self.send_frame, packet, node)
+            # Handle-free scheduling: per-packet delivery events are never
+            # cancelled, so the datapath skips the EventHandle allocation.
+            self.sim.post(delay, self.send_frame, packet, node)
             return True
         return self.send_frame(packet, node)
 

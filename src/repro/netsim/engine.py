@@ -8,47 +8,68 @@ substrate's core: a deterministic event loop with a virtual clock.
 The engine is deliberately minimal and synchronous. Events are callbacks
 scheduled at absolute virtual times; ties are broken by insertion order so
 runs are fully reproducible.
+
+Event representation
+--------------------
+
+A queued event is a plain 4-slot list — ``[time, seq, callback, args]`` —
+not a dataclass: ``heapq`` then compares bare floats/ints directly instead
+of dispatching through ``@dataclass(order=True)``'s generated ``__lt__``
+(which builds a comparison tuple per probe), and scheduling allocates one
+list instead of an object plus its field storage. ``seq`` is unique per
+event, so comparison never reaches the callback slot.
+
+Cancellation is **lazy**: :meth:`EventHandle.cancel` nulls the entry's
+callback slot and the dead entry stays queued until the run loop pops it
+— O(1) cancel, no heap surgery. The engine counts dead entries and
+**compacts** the heap (filter + re-heapify) whenever they exceed both a
+floor and half the queue, so a workload that arms and cancels timers
+continuously (retransmit timers, keepalive rescheduling, fault-plan
+churn) cannot grow the heap without bound. :attr:`Simulator.pending`
+reports only live events; the raw queue length (live + not-yet-reaped
+cancelled) stays available as :attr:`Simulator.pending_raw`.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
+
+# Heap-entry slot indices (a queued event is [time, seq, callback, args]).
+_TIME = 0
+_SEQ = 1
+_CALLBACK = 2
+_ARGS = 3
+
+#: Compaction triggers only above this many dead entries (tiny heaps never
+#: pay a rebuild) *and* when dead entries outnumber live ones.
+_COMPACT_FLOOR = 64
 
 
 class SimulationError(Exception):
     """Raised for invalid uses of the simulation engine."""
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-
-
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`, usable to cancel."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_sim", "_entry")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
-        self._event = event
+    def __init__(self, sim: "Simulator", entry: list) -> None:
+        self._sim = sim
+        self._entry = entry
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._entry[_TIME]
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._entry[_CALLBACK] is None
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self._sim.cancel_entry(self._entry)
 
 
 class Simulator:
@@ -65,10 +86,11 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[_ScheduledEvent] = []
+        self._heap: list[list] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -81,18 +103,24 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of *live* (non-cancelled) events still queued."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def pending_raw(self) -> int:
+        """Raw queue length: live events plus not-yet-reaped cancelled ones."""
         return len(self._heap)
 
+    # -- scheduling -------------------------------------------------------
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = _ScheduledEvent(self._now + delay, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        entry = [self._now + delay, next(self._seq), callback, args]
+        heapq.heappush(self._heap, entry)
+        return EventHandle(self, entry)
 
     def schedule_at(
         self, when: float, callback: Callable[..., None], *args: Any
@@ -102,10 +130,61 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when}, current time is {self._now}"
             )
-        event = _ScheduledEvent(when, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        entry = [when, next(self._seq), callback, args]
+        heapq.heappush(self._heap, entry)
+        return EventHandle(self, entry)
 
+    def post(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`EventHandle`.
+
+        The hot datapath (link burst delivery, terminus processing delays)
+        never cancels its events; skipping the handle saves one allocation
+        per scheduled event.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(
+            self._heap, [self._now + delay, next(self._seq), callback, args]
+        )
+
+    def post_at(
+        self, when: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no :class:`EventHandle`."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when}, current time is {self._now}"
+            )
+        heapq.heappush(self._heap, [when, next(self._seq), callback, args])
+
+    # -- cancellation -----------------------------------------------------
+    def cancel_entry(self, entry: list) -> None:
+        """Lazily cancel a queued entry (idempotent).
+
+        The entry stays on the heap with its callback nulled; the run loop
+        (or a compaction) reaps it. Exposed for :class:`EventHandle` and
+        the entry-reusing timers below; other modules go through
+        :meth:`EventHandle.cancel`.
+        """
+        if entry[_CALLBACK] is not None:
+            entry[_CALLBACK] = None
+            entry[_ARGS] = ()
+            self._cancelled += 1
+            if (
+                self._cancelled > _COMPACT_FLOOR
+                and self._cancelled * 2 > len(self._heap)
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (amortized O(live))."""
+        self._heap = [e for e in self._heap if e[_CALLBACK] is not None]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    # -- run loop ---------------------------------------------------------
     def run(
         self,
         until: Optional[float] = None,
@@ -124,22 +203,31 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
         processed = 0
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and processed >= max_events:
                     break
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
+                entry = heap[0]
+                callback = entry[_CALLBACK]
+                if callback is None:
+                    pop(heap)
+                    self._cancelled -= 1
                     continue
-                if until is not None and event.time > until:
+                when = entry[_TIME]
+                if until is not None and when > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = event.time
-                event.callback(*event.args)
+                pop(heap)
+                # Read every field before invoking: the callback may reuse
+                # the popped entry to re-arm itself (see Timer/PeriodicTask).
+                args = entry[_ARGS]
+                self._now = when
+                callback(*args)
                 processed += 1
                 self._events_processed += 1
+                heap = self._heap  # a callback may have triggered compaction
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -150,41 +238,97 @@ class Simulator:
         """Run until no events remain (bounded by ``max_events``)."""
         return self.run(max_events=max_events)
 
+    # -- entry reuse (engine-internal) ------------------------------------
+    def _push_entry(
+        self, entry: list, delay: float, callback: Callable[..., None]
+    ) -> list:
+        """(Re)initialize ``entry`` and queue it; returns the entry.
+
+        Only safe for an entry the run loop has already popped (i.e. one
+        whose callback just fired): the timers below recycle their own
+        entry so a periodic tick or timer re-arm allocates nothing.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        entry[_TIME] = self._now + delay
+        entry[_SEQ] = next(self._seq)
+        entry[_CALLBACK] = callback
+        entry[_ARGS] = ()
+        heapq.heappush(self._heap, entry)
+        return entry
+
 
 class Timer:
     """A restartable one-shot timer on a :class:`Simulator`.
 
     Used by protocol state machines (retransmits, keepalives, rekeys).
+    Re-arming after a fire reuses the fired heap entry — a retransmit
+    timer that restarts on every packet allocates nothing per packet.
     """
+
+    __slots__ = ("_sim", "_callback", "_entry", "_spare")
 
     def __init__(
         self, sim: Simulator, callback: Callable[[], None]
     ) -> None:
         self._sim = sim
         self._callback = callback
-        self._handle: Optional[EventHandle] = None
+        #: The queued heap entry while armed, else None.
+        self._entry: Optional[list] = None
+        #: A fired (popped) entry available for reuse.
+        self._spare: Optional[list] = None
 
     @property
     def armed(self) -> bool:
-        return self._handle is not None and not self._handle.cancelled
+        return self._entry is not None and self._entry[_CALLBACK] is not None
 
     def start(self, delay: float) -> None:
         """(Re)arm the timer to fire ``delay`` seconds from now."""
         self.stop()
-        self._handle = self._sim.schedule(delay, self._fire)
+        spare = self._spare
+        if spare is not None:
+            self._spare = None
+            self._entry = self._sim._push_entry(spare, delay, self._fire)
+        else:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule in the past (delay={delay})"
+                )
+            entry = [self._sim._now + delay, next(self._sim._seq), self._fire, ()]
+            heapq.heappush(self._sim._heap, entry)
+            self._entry = entry
 
     def stop(self) -> None:
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
+        if self._entry is not None:
+            # The entry stays queued until reaped; it cannot be reused.
+            self._sim.cancel_entry(self._entry)
+            self._entry = None
 
     def _fire(self) -> None:
-        self._handle = None
+        entry = self._entry
+        self._entry = None
+        if entry is not None:
+            self._spare = entry  # popped by the run loop: safe to recycle
         self._callback()
 
 
 class PeriodicTask:
-    """Repeatedly invoke a callback at a fixed virtual-time interval."""
+    """Repeatedly invoke a callback at a fixed virtual-time interval.
+
+    The steady-state tick → re-arm cycle recycles the single heap entry the
+    run loop just popped, so a long soak with many periodic monitors does
+    not allocate per tick.
+    """
+
+    __slots__ = (
+        "_sim",
+        "_interval",
+        "_callback",
+        "_jitter",
+        "_rng",
+        "_entry",
+        "_stopped",
+    )
 
     def __init__(
         self,
@@ -192,7 +336,7 @@ class PeriodicTask:
         interval: float,
         callback: Callable[[], None],
         jitter: float = 0.0,
-        rng=None,
+        rng: Any = None,
     ) -> None:
         if interval <= 0:
             raise SimulationError("interval must be positive")
@@ -201,19 +345,22 @@ class PeriodicTask:
         self._callback = callback
         self._jitter = jitter
         self._rng = rng
-        self._handle: Optional[EventHandle] = None
+        self._entry: Optional[list] = None
         self._stopped = True
 
     def start(self, initial_delay: Optional[float] = None) -> None:
         self._stopped = False
         delay = self._interval if initial_delay is None else initial_delay
-        self._handle = self._sim.schedule(delay, self._tick)
+        sim = self._sim
+        entry = [sim._now + delay, next(sim._seq), self._tick, ()]
+        heapq.heappush(sim._heap, entry)
+        self._entry = entry
 
     def stop(self) -> None:
         self._stopped = True
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
+        if self._entry is not None:
+            self._sim.cancel_entry(self._entry)
+            self._entry = None
 
     def _next_delay(self) -> float:
         if self._jitter and self._rng is not None:
@@ -223,6 +370,12 @@ class PeriodicTask:
     def _tick(self) -> None:
         if self._stopped:
             return
+        entry = self._entry
         self._callback()
         if not self._stopped:
-            self._handle = self._sim.schedule(self._next_delay(), self._tick)
+            if self._entry is entry and entry is not None:
+                # Normal cadence: the run loop popped this entry; recycle it.
+                self._entry = self._sim._push_entry(
+                    entry, self._next_delay(), self._tick
+                )
+            # else: the callback restarted/stopped us; respect its schedule.

@@ -172,7 +172,9 @@ class Link:
         else:
             pending = [arrival, [frame], size]
             self._pending_burst[src] = pending
-            self.sim.schedule_at(arrival, self._deliver_burst, src, dst, pending)
+            # Fire-and-forget: burst delivery is never cancelled, so skip
+            # the EventHandle allocation on the per-burst hot path.
+            self.sim.post_at(arrival, self._deliver_burst, src, dst, pending)
         return True
 
     def _deliver_burst(

@@ -1,27 +1,37 @@
-"""Property: flow-run batched ingress ≡ per-packet ingress, observably.
+"""Property: sharded batch ingress ≡ per-packet ingress, per flow.
 
-``PipeTerminus.receive_batch`` groups consecutive same-flow packets into
-runs and amortizes decode/lookup/encode/seal across each run. This test
-drives two identically-constructed termini with the same arbitrary packet
-sequence — one via N× :meth:`receive`, one via a single
-:meth:`receive_batch` — and requires every observable to match exactly:
+``PipeTerminus.receive_batch`` shards a burst into flow groups — every
+packet with the same (ingress peer, header plaintext) — and amortizes
+decode/lookup/encode/seal across each group. Its contract (module
+docstring of :mod:`repro.core.pipe_terminus`) has two strengths, and this
+file tests both:
 
-* terminus stats, decision-cache stats, and per-peer PSP stats;
-* decision-cache contents including entry order (LRU), per-entry hit
-  counters, and timestamps;
-* the transmitted packets: peers, outer L3, *wire bytes* (so nonce
-  sequencing and sealing are byte-identical), payloads, and qos_src —
-  in the same order.
+**Flow-contiguous bursts — full observable equality.** When each flow's
+packets arrive adjacent (what a flow-local delivery event looks like),
+sharding merges nothing across flows and every observable must match
+per-packet :meth:`receive` exactly: terminus stats, decision-cache stats
+and contents *including LRU order*, per-peer PSP stats, and the
+transmitted packets — peers, outer L3, **wire bytes** (so nonce
+sequencing is byte-identical), payloads, qos_src, in the same order.
+
+**Arbitrary interleavings — per-flow equality.** Sharding reorders
+*across* flows (sound: the PSP-style header crypto is order-independent
+per packet — the nonce travels with the packet), but never within one.
+For any interleaving, each flow's projected output sequence — opened
+header plaintext, payload, qos_src, in order — must equal the scalar
+path's, along with all aggregate stats and the decision-cache contents
+as a set. When flows forward over *distinct* egress associations, the
+per-flow wire bytes themselves must be identical too (each egress
+context's nonce sequence then depends on one flow only).
 
 The sequences mix flows (run lengths from 1 to the whole batch), cache
-hits and cold runs, CONTROL/LAST punts, offload rules (count, forward,
-fall-through), bad auth, unknown peers, unknown services, malformed
-headers, and fan-out decisions with TLV rewrites.
-
-A second property feeds the same sequences through a seeded wire-fault
-transform (drops, duplicates, auth-tag corruption — the shapes a lossy or
-hostile pipe produces) before both rigs see them: equivalence must hold,
-stats included, for whatever actually arrives.
+hits and cold groups, CONTROL/LAST barrier punts, offload rules (count,
+forward, fall-through), bad auth, unknown peers, unknown services,
+malformed headers, and fan-out decisions with TLV rewrites. Fault
+variants feed the same sequences through a seeded wire-fault transform
+(drops, duplicates, auth-tag corruption — the shapes a lossy or hostile
+pipe produces) before both rigs see them: equivalence must hold, stats
+included, for whatever actually arrives.
 """
 
 from __future__ import annotations
@@ -250,32 +260,219 @@ def apply_wire_faults(specs: list[dict], seed: int) -> list[dict]:
     return arrived
 
 
-def _assert_batch_equals_scalar(specs: list[dict]) -> None:
-    rig_scalar, rig_batch = _Rig(), _Rig()
+def _flow_sort(specs: list[dict]) -> list[dict]:
+    """Stable-sort a sequence flow-contiguous.
+
+    Sorts by every field that shapes the header plaintext (plus the
+    ingress peer and kind), so each (peer, plaintext) flow's packets end
+    up adjacent while their relative order — and therefore their payload
+    sequence — is preserved. On such input the sharding stage merges
+    nothing across flows, which is what makes full observable equality
+    (LRU order and global emit order included) attainable.
+    """
+    return sorted(
+        specs,
+        key=lambda s: (
+            s["peer"],
+            s["kind"],
+            s["service_id"],
+            s["conn"],
+            s["flags"],
+            s["src_host"],
+            -1 if s["seq"] is None else s["seq"],
+        ),
+    )
+
+
+def _drive(specs: list[dict], rig_factory=None) -> tuple["_Rig", "_Rig"]:
+    rig_factory = rig_factory or _Rig
+    rig_scalar, rig_batch = rig_factory(), rig_factory()
     scalar_packets = [rig_scalar.build_packet(s) for s in specs]
     batch_packets = [rig_batch.build_packet(s) for s in specs]
-
     for packet in scalar_packets:
         rig_scalar.terminus.receive(packet)
     assert rig_batch.terminus.receive_batch(batch_packets) == len(specs)
+    return rig_scalar, rig_batch
 
+
+def _assert_batch_equals_scalar(specs: list[dict]) -> None:
+    rig_scalar, rig_batch = _drive(specs)
     assert rig_batch.observable_state() == rig_scalar.observable_state()
+
+
+def _per_flow_projection(rig: _Rig) -> dict:
+    """``rig.sent`` regrouped by flow, order within each flow preserved.
+
+    A flow on egress is keyed by (egress peer, opened header plaintext):
+    the terminus never rewrites a header differently for two packets of
+    one flow group, and the test strategies make that key injective over
+    ingress flows. Wire bytes are deliberately opened away — nonce
+    positions on a shared egress association are global-order-dependent,
+    which per-flow equivalence does not promise.
+    """
+    openers = {
+        peer: PSPContext(pairwise_secret(SN_ADDR, peer))
+        for peer in (PEER_A, PEER_B)
+    }
+    flows: dict[tuple, list[tuple]] = {}
+    for peer, l3s, l3d, wire, l4, data, qos_src, created in rig.sent:
+        plain = openers[peer].open(wire)
+        flows.setdefault((peer, plain), []).append(
+            (l3s, l3d, plain, l4, data, qos_src, created)
+        )
+    return flows
+
+
+def _relaxed_state(rig: _Rig) -> dict:
+    """Observable state minus the two globally-ordered artifacts.
+
+    Cross-flow reordering legitimately permutes the LRU order of the
+    decision cache and the global emit sequence; everything else —
+    every stats counter, the cache contents as a set (entries, hit
+    counts, timestamps), PSP and offload counters — must still match
+    exactly.
+    """
+    state = rig.observable_state()
+    state["cache_entries"] = sorted(
+        state["cache_entries"],
+        key=lambda row: (row[0].src, row[0].service_id, row[0].connection_id),
+    )
+    del state["sent"]
+    return state
+
+
+def _assert_per_flow_equivalent(specs: list[dict]) -> None:
+    rig_scalar, rig_batch = _drive(specs)
+    assert _per_flow_projection(rig_batch) == _per_flow_projection(rig_scalar)
+    assert _relaxed_state(rig_batch) == _relaxed_state(rig_scalar)
 
 
 @settings(max_examples=60, deadline=None)
 @given(_spec_list)
-def test_receive_batch_equals_per_packet(specs):
-    _assert_batch_equals_scalar(specs)
+def test_flow_contiguous_batch_equals_per_packet(specs):
+    """Flow-contiguous bursts: every observable matches, byte for byte."""
+    _assert_batch_equals_scalar(_flow_sort(specs))
 
 
 @settings(max_examples=40, deadline=None)
 @given(_spec_list, st.integers(min_value=0, max_value=2**32 - 1))
-def test_receive_batch_equals_per_packet_under_faults(specs, seed):
+def test_flow_contiguous_batch_equals_per_packet_under_faults(specs, seed):
     """Drops, duplicates, and corrupted frames keep the paths identical.
 
-    Duplicates stress run coalescing (a duplicated packet extends its
-    flow run), corruption stresses the mid-run auth-failure bailout, and
-    drops reshuffle run boundaries — none may cause the batched path to
-    diverge from per-packet processing in any observable, stats included.
+    Duplicates stress group coalescing (a duplicated packet extends its
+    flow group), corruption stresses the mid-group auth-failure bailout,
+    and drops reshuffle group boundaries — none may cause the batched
+    path to diverge from per-packet processing in any observable. Faults
+    preserve flow contiguity (drops remove, duplicates append adjacent,
+    corruption mutates in place), so the full-equality contract applies.
     """
-    _assert_batch_equals_scalar(apply_wire_faults(specs, seed))
+    _assert_batch_equals_scalar(apply_wire_faults(_flow_sort(specs), seed))
+
+
+# For the arbitrary-interleaving properties the ingress peer is derived
+# from the connection ID, making (egress peer, opened plaintext) an
+# injective flow key — without this, two ingress flows with identical
+# plaintext on different pipes would alias in the projection.
+_ispec_list = _spec_list.map(
+    lambda specs: [
+        {**s, "peer": PEER_A if s["conn"] % 2 == 0 else PEER_B}
+        for s in specs
+    ]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ispec_list)
+def test_interleaved_batch_preserves_per_flow_output(specs):
+    """Arbitrary interleavings: per-flow output and aggregate state match.
+
+    This is the sharding stage's reason to exist — run lengths of 1 —
+    and its contract: each flow's opened output sequence is identical to
+    scalar processing, stats agree exactly, and only globally-ordered
+    artifacts (LRU order, cross-flow emit interleaving) may differ.
+    """
+    _assert_per_flow_equivalent(specs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ispec_list, st.integers(min_value=0, max_value=2**32 - 1))
+def test_interleaved_batch_preserves_per_flow_output_under_faults(specs, seed):
+    """Per-flow equivalence survives seeded drops/dups/corruption."""
+    _assert_per_flow_equivalent(apply_wire_faults(specs, seed))
+
+
+# -- distinct egress associations: byte-identical wire output ------------
+
+EGRESS_PEERS = tuple(f"10.0.1.{i + 1}" for i in range(6))
+
+
+class _FanRig(_Rig):
+    """A rig whose six data flows forward over six *distinct* pipes.
+
+    One pre-installed decision per (ingress peer, conn) maps connection
+    ``i`` to egress peer ``EGRESS_PEERS[i]``; with the ingress peer also
+    derived from the conn, each egress association carries exactly one
+    flow, so its nonce sequence depends on that flow alone and the wire
+    bytes themselves must match the scalar path.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        for peer in EGRESS_PEERS:
+            self.node.keystore.establish(peer, pairwise_secret(SN_ADDR, peer))
+        for ingress in (PEER_A, PEER_B):
+            for conn, egress in enumerate(EGRESS_PEERS):
+                self.terminus.cache.install(
+                    CacheKey(ingress, _DeterministicService.SERVICE_ID, conn),
+                    Decision.forward(egress),
+                    now=0.0,
+                )
+
+
+_fan_spec_list = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.sampled_from([0, 8, 40]),
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=48,
+).map(
+    lambda rows: [
+        {
+            "kind": "badauth" if corrupt else "data",
+            "peer": PEER_A if conn % 2 == 0 else PEER_B,
+            "service_id": _DeterministicService.SERVICE_ID,
+            "conn": conn,
+            "payload_len": payload_len,
+            "src_host": False,
+            "seq": None,
+            "flags": Flags.NONE,
+        }
+        for conn, payload_len, corrupt in rows
+    ]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_fan_spec_list, st.integers(min_value=0, max_value=2**32 - 1))
+def test_interleaved_flows_on_distinct_pipes_are_byte_identical(specs, seed):
+    """Distinct egress associations: per-flow WIRE bytes match exactly.
+
+    Six flows, one egress pipe each, arbitrarily interleaved (plus
+    seeded drops/dups/corruption): grouping by egress peer recovers each
+    flow's full transmit sequence, which must equal the scalar path's
+    tuple-for-tuple — sealed wire bytes included, proving the gather
+    egress consumes each association's nonces in exactly the per-packet
+    order.
+    """
+    rig_scalar, rig_batch = _drive(apply_wire_faults(specs, seed), _FanRig)
+
+    def by_egress(rig: _Rig) -> dict[str, list[tuple]]:
+        out: dict[str, list[tuple]] = {}
+        for row in rig.sent:
+            out.setdefault(row[0], []).append(row)
+        return out
+
+    assert by_egress(rig_batch) == by_egress(rig_scalar)
+    assert _relaxed_state(rig_batch) == _relaxed_state(rig_scalar)

@@ -208,3 +208,94 @@ class TestConnectionIndex:
         assert cache.invalidate_connection(1, 1) == 1
         self._assert_index_consistent(cache)
         assert len(cache) == 0
+
+
+class TestLookupMany:
+    """Batched multi-key queries (the sharding stage's lookup pass)."""
+
+    def test_scalar_mode_matches_individual_lookups(self):
+        batched, scalar = DecisionCache(), DecisionCache()
+        for cache in (batched, scalar):
+            cache.install(key(1), Decision.drop())
+            cache.install(key(2), Decision.forward("10.0.0.9"))
+        keys = [key(1), key(3), key(2), key(1)]
+        results = batched.lookup_many(keys, now=7.0)
+        expected = [scalar.lookup(k, now=7.0) for k in keys]
+        assert results == expected
+        assert batched.stats == scalar.stats
+        assert batched.snapshot_entries() == scalar.snapshot_entries()
+
+    def test_counts_mode_matches_lookup_run(self):
+        batched, runs = DecisionCache(), DecisionCache()
+        for cache in (batched, runs):
+            cache.install(key(1), Decision.drop())
+            cache.install(key(2), Decision.forward("10.0.0.9"))
+        keys = [key(1), key(3), key(2)]
+        counts = [4, 5, 2]
+        results = batched.lookup_many(keys, counts, now=3.0)
+        expected = [runs.lookup_run(k, c, now=3.0) for k, c in zip(keys, counts)]
+        assert results == expected
+        assert batched.stats == runs.stats
+        assert batched.snapshot_entries() == runs.snapshot_entries()
+
+    def test_counts_mode_miss_charges_nothing(self):
+        cache = DecisionCache()
+        assert cache.lookup_many([key(1), key(2)], [10, 20]) == [None, None]
+        assert cache.stats.lookups == 0
+        assert cache.stats.misses == 0
+
+    def test_duplicate_keys_stack_bookkeeping(self):
+        cache = DecisionCache()
+        cache.install(key(1), Decision.drop())
+        results = cache.lookup_many([key(1), key(1)], [3, 2], now=1.0)
+        assert results[0] is results[1]
+        assert cache.stats.lookups == 5
+        assert cache.stats.hits == 5
+        assert cache.hit_count(key(1)) == 5
+
+    def test_lru_touch_order_follows_key_order(self):
+        cache = DecisionCache(policy=EvictionPolicy.LRU)
+        for i in (1, 2, 3):
+            cache.install(key(i), Decision.drop())
+        cache.lookup_many([key(2), key(1)], [1, 1])
+        order = [row[0] for row in cache.snapshot_entries()]
+        assert order == [key(3), key(2), key(1)]
+
+    def test_empty_batch(self):
+        cache = DecisionCache()
+        assert cache.lookup_many([]) == []
+        assert cache.lookup_many([], []) == []
+        assert cache.stats.lookups == 0
+
+
+class TestLookupManyIndexCoherence:
+    """lookup_many keeps every secondary index coherent, sanitizer armed."""
+
+    @pytest.fixture(autouse=True)
+    def _armed(self):
+        from repro import sanitize
+
+        previous = sanitize.set_enabled(True)
+        yield
+        sanitize.set_enabled(previous)
+
+    def test_batched_lookups_between_mutations(self):
+        cache = DecisionCache(capacity=32)
+        for i in range(40):  # drives evictions through install's armed check
+            cache.install(key(i), Decision.drop())
+            cache.lookup_many([key(i), key(i - 5), key(i + 1)], [2, 1, 1])
+        cache.invalidate(key(39))
+        cache.lookup_many([key(39), key(38)])
+        cache.invalidate_connection(1, 38)
+        cache.lookup_many([key(38)], [4])
+        cache.check_index_coherence()
+
+    def test_precomputed_hash_equals_fresh_key(self):
+        # The cached-slot hash must behave exactly like the tuple hash it
+        # memoizes: equal keys collide, probes built from fresh objects hit.
+        cache = DecisionCache()
+        cache.install(key(7), Decision.drop())
+        fresh = CacheKey(src=key(7).src, service_id=1, connection_id=7)
+        assert hash(fresh) == hash(key(7))
+        assert cache.lookup_many([fresh], [1]) != [None]
+        cache.check_index_coherence()

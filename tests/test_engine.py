@@ -167,3 +167,107 @@ class TestPeriodicTask:
         task.start(initial_delay=1.0)
         sim.run(until=7.0)
         assert fired == [1.0, 6.0]
+
+
+class TestPendingAndCompaction:
+    def test_pending_counts_only_live(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i), lambda: None) for i in range(10)]
+        assert sim.pending == 10
+        assert sim.pending_raw == 10
+        handles[3].cancel()
+        handles[7].cancel()
+        assert sim.pending == 8
+        assert sim.pending_raw == 10  # lazily-cancelled entries not yet reaped
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+        assert sim.pending == 0
+        assert sim.pending_raw == 1
+
+    def test_run_reaps_cancelled_entries(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(2.0, fired.append, "keep")
+        sim.schedule(1.0, fired.append, "dead").cancel()
+        assert (sim.pending, sim.pending_raw) == (1, 2)
+        sim.run()
+        assert fired == ["keep"]
+        assert (sim.pending, sim.pending_raw) == (0, 0)
+        assert not keep.cancelled  # fired, not cancelled
+
+    def test_small_heaps_never_compact(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i), lambda: None) for i in range(20)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.pending == 0
+        assert sim.pending_raw == 20  # below the floor: left for run() to reap
+        assert sim.run() == 0
+        assert sim.pending_raw == 0
+
+    def test_compaction_bounds_raw_queue(self):
+        # A workload that arms and cancels events continuously must not
+        # grow the heap without bound: once dead entries pass the floor
+        # and outnumber live ones, the heap compacts.
+        sim = Simulator()
+        handles = [sim.schedule(float(i), lambda: None) for i in range(1000)]
+        for handle in handles[:900]:
+            handle.cancel()
+        assert sim.pending == 100
+        assert sim.pending_raw < 1000
+        assert sim.run() == 100
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        fired = []
+        expected = []
+        for i in range(300):
+            handle = sim.schedule(float(i), fired.append, i)
+            if i % 3:
+                handle.cancel()  # crosses the compaction threshold mid-loop
+            else:
+                expected.append(i)
+        sim.run()
+        assert fired == expected
+
+
+class TestPost:
+    def test_post_runs_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.post(2.0, fired.append, "late")
+        sim.post(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_post_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.post_at(3.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_post_interleaves_with_schedule(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.post(1.0, fired.append, "b")  # tie: insertion order wins
+        sim.schedule(0.5, fired.append, "c")
+        sim.run()
+        assert fired == ["c", "a", "b"]
+
+    def test_post_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().post(-1.0, lambda: None)
+
+    def test_post_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.post_at(0.5, lambda: None)
