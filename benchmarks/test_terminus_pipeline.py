@@ -17,6 +17,12 @@ it in CI:
   *interleaved* 64-flow burst — the workload sharding exists for — with
   its own ``batched ≥ 2× per-packet`` relative gate (pre-sharding, the
   batched path gained ~nothing here: 22.2k vs 141.4k pps flow-local);
+* the cold-storm gate: the same interleaved 64-flow burst with the
+  decision cache wiped before every iteration, so *every* flow takes the
+  slow path — per-packet punting (one IPC round trip per packet) vs the
+  coalesced miss path (one lead punt per flow, batched per span, with
+  followers drained off the fresh install), ``coalesced ≥ 2×
+  per-packet`` relative gate;
 * a netsim engine microbench: event churn (schedule + dispatch) and
   timer re-arm throughput on the tuple-heap event loop, plus the
   lazy-cancel ledger (``pending`` vs ``pending_raw``) under a
@@ -41,6 +47,7 @@ from repro.core.decision_cache import CacheKey, Decision
 from repro.core.ilp import ILPHeader, TLV
 from repro.core.packet import ILPPacket, L3Header, make_payload
 from repro.core.psp import PSPContext, pairwise_secret
+from repro.core.service_module import ServiceModule, Verdict
 from repro.core.service_node import ServiceNode
 from repro.netsim import Simulator
 
@@ -228,6 +235,76 @@ def test_interleaved_sharding_gate():
     )
 
 
+class _InstallOnPunt(ServiceModule):
+    """Forward + install on every punt: the storm's flows become warm."""
+
+    SERVICE_ID = 2
+    NAME = "storm-installer"
+
+    def handle_packet(self, header, packet):
+        verdict = Verdict.forward(EGRESS, header, packet.payload)
+        verdict.installs.append(
+            (
+                CacheKey(packet.l3.src, 2, header.connection_id),
+                Decision.forward(EGRESS),
+            )
+        )
+        return verdict
+
+
+def test_cold_storm():
+    """Cold-storm gate: coalesced miss path ≥ 2× per-packet, same run.
+
+    The 1024-packet, 64-flow interleaved burst again, but the decision
+    cache is wiped before every iteration (the post-crash / flash-crowd
+    shape), so every flow starts cold. Per-packet processing pays one
+    marshalled IPC punt per lead packet and a scalar lookup per
+    follower; the coalesced path punts all 64 leads in one
+    ``invoke_batch`` round trip and drains the followers off the freshly
+    installed decisions through the batched fast path. Relative gate,
+    same run: container speed cannot flake it.
+    """
+    node, tx, _ = _make_rig()
+    node.env.load(_InstallOnPunt())
+    terminus = node.terminus
+    receive = terminus.receive
+    cache = node.cache
+
+    def cold_burst():
+        cache.evict_random_fraction(1.0)  # untimed: runs in make_burst
+        return _flow_local_burst(tx, flows=64, interleaved=True)
+
+    def per_packet(burst):
+        for packet in burst:
+            receive(packet)
+
+    per_packet_pps = _measure_pps(per_packet, cold_burst)
+    batched_pps = _measure_pps(terminus.receive_batch, cold_burst)
+    speedup = batched_pps / per_packet_pps
+    channel = terminus.channel.stats
+    queue = terminus.miss_queue
+    _results["cold_storm"] = {
+        "per_packet_pps": round(per_packet_pps, 1),
+        "batched_pps": round(batched_pps, 1),
+        "speedup": round(speedup, 2),
+        "flows": 64,
+        "burst": BURST,
+        "max_batch": channel.max_batch,
+    }
+    assert terminus.stats.drops_auth == 0
+    assert terminus.stats.packets_out == terminus.stats.packets_in
+    # The coalesced path actually engaged: full-width lead batches, and
+    # every parked follower drained through the installed fast path.
+    assert channel.max_batch == 64
+    assert queue.live == 0
+    assert queue.stats.drained_fast == queue.stats.parked > 0
+    assert speedup >= 2.0, (
+        f"miss coalescing gained only {speedup:.2f}x over per-packet on the "
+        f"cold storm ({batched_pps:.0f} vs {per_packet_pps:.0f} pps); "
+        "gate is 2x"
+    )
+
+
 def test_netsim_engine_event_throughput():
     """Event-loop churn: schedule+dispatch and timer re-arm rates."""
     sim = Simulator()
@@ -325,6 +402,7 @@ def teardown_module(module):
         "terminus_forward",
         "flow_locality",
         "interleaved_sharding",
+        "cold_storm",
         "netsim_engine",
         "netsim_burst",
     ):

@@ -307,6 +307,38 @@ class DecisionCache:
         if _san.ENABLED:
             self.check_index_coherence()
 
+    def install_many(
+        self, pairs: list[tuple[CacheKey, Decision]], now: float = 0.0
+    ) -> None:
+        """Install or replace many entries in one pass.
+
+        Bookkeeping is identical to calling :meth:`install` per pair in
+        order — replacement semantics, LRU touches, capacity eviction, and
+        ``stats.installs`` all match — but the armed coherence scan runs
+        once for the whole batch instead of once per mutation (the batch is
+        a single logical mutation: a verdict's install set, or a batched
+        invocation's combined installs).
+        """
+        entries = self._entries
+        lru = self.policy is EvictionPolicy.LRU
+        capacity = self.capacity
+        installs = 0
+        for key, decision in pairs:
+            entry = entries.get(key)
+            if entry is not None:
+                entry.decision = decision
+                if lru:
+                    entries.move_to_end(key)
+                continue
+            while len(entries) >= capacity:
+                self._evict_one()
+            entries[key] = _Entry(decision=decision, installed_at=now)
+            self._index_add(key)
+            installs += 1
+        self.stats.installs += installs
+        if _san.ENABLED and pairs:
+            self.check_index_coherence()
+
     def invalidate(self, key: CacheKey) -> bool:
         """Remove one entry (service teardown). Returns True if present."""
         if self._entries.pop(key, None) is not None:

@@ -295,6 +295,48 @@ class ExecutionEnvironment:
             return loaded.enclave.call(handler, header, packet)
         return handler(header, packet)
 
+    def dispatch_batch(
+        self, punts: list[tuple[ILPHeader, Any]]
+    ) -> list[Optional[Verdict]]:
+        """Run the slow path for a whole batch of punts, grouped by service.
+
+        Each service module sees one vectorized
+        :meth:`~repro.core.service_module.ServiceModule.handle_batch` call
+        covering all of its punts (in punt order); an enclave-hosted module
+        pays **one** boundary crossing pair for its whole group instead of
+        one per punt. The result has one entry per punt, in order; ``None``
+        marks a punt whose handling raised :class:`ServiceError` (the
+        terminus accounts those as service drops). A missing service raises
+        — callers filter with :meth:`has_service` per punt, exactly as the
+        scalar :meth:`dispatch` path expects.
+        """
+        results: list[Optional[Verdict]] = [None] * len(punts)
+        groups: dict[int, list[int]] = {}
+        for i, (header, _packet) in enumerate(punts):
+            groups.setdefault(header.service_id, []).append(i)
+        for service_id, indices in groups.items():
+            loaded = self._services.get(service_id)
+            if loaded is None:
+                raise ServiceError(f"service {service_id} not deployed")
+            items = [punts[i] for i in indices]
+            try:
+                if loaded.enclave is not None:
+                    verdicts = loaded.enclave.call(
+                        loaded.module.handle_batch, items
+                    )
+                else:
+                    verdicts = loaded.module.handle_batch(items)
+                if len(verdicts) != len(items):
+                    raise ServiceError(
+                        f"service {service_id} handle_batch returned "
+                        f"{len(verdicts)} verdicts for {len(items)} punts"
+                    )
+            except ServiceError:
+                continue  # whole group errored; its entries stay None
+            for i, verdict in zip(indices, verdicts):
+                results[i] = verdict
+        return results
+
     def checkpoint_all(self) -> None:
         for service_id, loaded in self._services.items():
             self.checkpoints.save(service_id, loaded.module.checkpoint())

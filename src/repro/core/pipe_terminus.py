@@ -50,14 +50,40 @@ teardown and control ordering is preserved exactly, and such packets
 still punt individually with a fresh header each (services may retain
 or mutate what they are handed).
 
-Cold groups (cache miss) replay per-packet because the first packet's
-punt may install the decision the rest of the group then hits. Like the
-ASIC pipeline it models, the batched path assumes a slow-path verdict
-within a burst does not retire the PSP association of packets already in
-flight, and that verdicts only mutate their *own* connection's fast-path
-state (cross-flow installs/invalidations take effect at the next
-delivery event, exactly as they would across the boundary of a hardware
-pipeline stage).
+Miss coalescing and batched punts
+---------------------------------
+
+Cold groups (cache miss) take a **coalesced slow path** instead of
+replaying per-packet: only the group's *lead* packet punts; the
+followers park in a bounded per-flow :class:`MissQueue` and, once the
+verdict installs a decision, drain through the freshly installed fast
+path using the same batch machinery a warm group uses (one
+``lookup_run`` charge, one :meth:`_apply_decision_run` egress). If the
+verdict installs nothing — emit-only services, drops without installs,
+service errors, missing services — the parked packets replay through
+the per-packet slow path exactly as before, so the coalesced path is
+observably equivalent to per-packet processing by construction.
+Consecutive cold groups form a **cold span** whose distinct lead punts
+cross the service boundary in one
+:meth:`~repro.core.ipc.InvocationChannel.invoke_batch` round trip
+(OVS-style upcall batching): a cold-flow storm — flash crowd, post-crash
+cache wipe, membership churn — costs one boundary crossing per span
+plus one punt per flow, not one marshal round trip per packet, so the
+miss path can no longer collapse the node to per-packet throughput.
+Groups whose service has an offload program still replay per-packet
+(offload rules and meters are consulted per packet by contract), and
+``SLOW_PATH`` barriers still punt individually and flush spans like any
+other group.
+
+Like the ASIC pipeline it models, the batched path assumes a slow-path
+verdict within a burst does not retire the PSP association of packets
+already in flight, and that verdicts only mutate their *own*
+connection's fast-path state (cross-flow installs/invalidations take
+effect at the next delivery event, exactly as they would across the
+boundary of a hardware pipeline stage). Cross-flow *punt* order within
+a burst follows span order rather than arrival order — the same liberty
+the sharding stage already takes when it regroups interleaved arrivals
+— while each flow's punts always reach its service in arrival order.
 """
 
 from __future__ import annotations
@@ -79,6 +105,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Sentinel for "caller did not precompute qos_src" (None is a valid value).
 _QOS_UNSET = object()
+
+#: Cold-span plan modes (see :meth:`PipeTerminus._process_cold_span`).
+_COLD_REPLAY = 0  # offload-programmed service: per-packet replay
+_COLD_DRAIN = 1  # dup/revived cache key: drain off the span's installs
+_COLD_LEAD = 2  # true cold flow: lead punts, followers park
 
 
 def _san_check_header_wire(header: ILPHeader, wire: bytes) -> None:
@@ -117,6 +148,127 @@ class ShardStats:
     merged_runs: int = 0
     gathered_packets: int = 0
     barrier_flushes: int = 0
+    cold_spans: int = 0
+    cold_groups: int = 0
+
+
+@dataclass(slots=True)
+class MissQueueStats:
+    """Miss-queue ledger.
+
+    Every parked packet must leave through exactly one of the three
+    exits — ``drained_fast`` (verdict installed, drained through the
+    fast path), ``replayed`` (no install, replayed per-packet through
+    the slow path), ``dropped`` (queue discarded on node crash) — so
+    ``parked == drained_fast + replayed + dropped + live`` at all
+    times. ``spilled`` counts packets that never parked because the
+    per-flow bound was hit (they go straight to per-packet replay).
+    """
+
+    parked: int = 0
+    drained_fast: int = 0
+    replayed: int = 0
+    spilled: int = 0
+    dropped: int = 0
+
+
+class MissQueue:
+    """Bounded per-flow parking for a cold group's follower packets.
+
+    While a flow's lead packet is punted, its followers wait here instead
+    of punting too (miss coalescing). Each flow may park at most ``limit``
+    packets; overflow **spills** — the excess is returned to the caller
+    for ordinary per-packet processing, never silently dropped, so the
+    bound degrades throughput rather than correctness. ``SLOW_PATH``
+    barriers never park (they punt individually by contract). On node
+    crash the queue is discarded wholesale and every live packet is
+    accounted as ``dropped`` — parked packets are in-flight datapath
+    state, not durable state, exactly like packets sitting in a real
+    NIC ring at power loss.
+    """
+
+    __slots__ = ("limit", "_flows", "_live", "stats")
+
+    def __init__(self, limit: int = 512) -> None:
+        self.limit = limit
+        self._flows: dict[tuple[str, bytes], list[ILPPacket]] = {}
+        self._live = 0
+        self.stats = MissQueueStats()
+
+    @property
+    def live(self) -> int:
+        """Packets currently parked across all flows."""
+        return self._live
+
+    def park(
+        self, flow: tuple[str, bytes], packets: list[ILPPacket]
+    ) -> list[ILPPacket]:
+        """Park up to the per-flow bound; return the spill (may be empty)."""
+        queue = self._flows.get(flow)
+        if queue is None:
+            queue = []
+            self._flows[flow] = queue
+        room = self.limit - len(queue)
+        if room <= 0:
+            self.stats.spilled += len(packets)
+            return packets
+        take, spill = packets[:room], packets[room:]
+        queue.extend(take)
+        self._live += len(take)
+        self.stats.parked += len(take)
+        self.stats.spilled += len(spill)
+        return spill
+
+    def parked_count(self, flow: tuple[str, bytes]) -> int:
+        queue = self._flows.get(flow)
+        return len(queue) if queue else 0
+
+    def drain(self, flow: tuple[str, bytes], *, fast: bool) -> list[ILPPacket]:
+        """Remove and return a flow's parked packets, in arrival order.
+
+        ``fast=True`` accounts them as drained through a freshly
+        installed decision; ``fast=False`` as handed back for per-packet
+        slow-path replay.
+        """
+        queue = self._flows.pop(flow, None)
+        if queue is None:
+            return []
+        self._live -= len(queue)
+        if fast:
+            self.stats.drained_fast += len(queue)
+        else:
+            self.stats.replayed += len(queue)
+        return queue
+
+    def discard_all(self) -> int:
+        """Drop every parked packet (node crash); returns the count."""
+        n = self._live
+        self._flows.clear()
+        self._live = 0
+        self.stats.dropped += n
+        return n
+
+    def check_drained(self) -> None:
+        """Armed check: no packet may be left behind or double-counted.
+
+        Called at the end of every batch ingress under ``REPRO_SANITIZE=1``:
+        every parked packet must have been drained or accounted as dropped
+        (``live == 0`` between bursts), and the ledger must balance.
+        """
+        st = self.stats
+        if self._live != 0:
+            _san.fail(
+                "miss-queue-leak",
+                f"{self._live} packet(s) still parked across "
+                f"{len(self._flows)} flow(s) after batch ingress",
+            )
+        if st.parked != st.drained_fast + st.replayed + st.dropped + self._live:
+            _san.fail(
+                "miss-queue-ledger",
+                f"parked={st.parked} != drained_fast={st.drained_fast} "
+                f"+ replayed={st.replayed} + dropped={st.dropped} "
+                f"+ live={self._live}",
+            )
 
 
 @dataclass(slots=True)
@@ -150,6 +302,7 @@ class PipeTerminus:
         "offload",
         "stats",
         "shard_stats",
+        "miss_queue",
         "pending_delay",
         "peer_activity",
     )
@@ -164,6 +317,7 @@ class PipeTerminus:
         invocation_mode: InvocationMode = InvocationMode.IPC,
         clock: Optional[Callable[[], float]] = None,
         cost_model: Optional[CostModel] = None,
+        miss_queue_limit: int = 512,
     ) -> None:
         self.node_address = node_address
         self.keystore = keystore
@@ -178,6 +332,9 @@ class PipeTerminus:
         self.offload = TerminusOffloadEngine()
         self.stats = TerminusStats()
         self.shard_stats = ShardStats()
+        #: Parks a cold group's followers while its lead packet punts
+        #: (miss coalescing — see module docstring).
+        self.miss_queue = MissQueue(miss_queue_limit)
         #: Simulated-time processing delay to apply to the packets produced
         #: by the *current* ingress event; read by the node's transmit hook.
         self.pending_delay = 0.0
@@ -210,7 +367,10 @@ class PipeTerminus:
         barriers, merged by the sharding stage: one decode, one
         decision-cache probe (batched via ``lookup_many``), one header
         encode, one ``qos_src`` extraction, and a gather-coalesced
-        seal/transmit. Per-flow semantics are identical to calling
+        seal/transmit. Cold groups coalesce their punts too: one lead
+        punt per flow, batched per span, with followers parked in the
+        miss queue and drained through the freshly installed decision
+        (see the module docstring). Per-flow semantics are identical to calling
         :meth:`receive` per packet (see module docstring for the
         equivalence contract and the cross-flow reordering discipline).
 
@@ -288,6 +448,10 @@ class PipeTerminus:
         if open_groups:
             flush_segment(open_groups, now)
 
+        if _san.ENABLED:
+            # Every packet parked during this burst must be gone: drained
+            # through the fast path, replayed, or (on crash) dropped.
+            self.miss_queue.check_drained()
         stats.packets_in += n_in
         return n_in
 
@@ -461,15 +625,19 @@ class PipeTerminus:
         over every group's key, then egress in group (first-appearance)
         order. Consecutive single-target hit groups coalesce into a
         per-next-hop gather; anything that can emit through another code
-        path — cold replays (punt verdicts emit), multi-target fan-out,
+        path — cold spans (punt verdicts emit), multi-target fan-out,
         TLV rewrites — flushes the gather first so emissions keep segment
-        order.
+        order. Consecutive *cold* groups accumulate into a span handled
+        by :meth:`_process_cold_span` (coalesced punts); a hot group or
+        the segment end flushes the span before anything later emits.
         """
         shard = self.shard_stats
         shard.segments += 1
         shard.groups += len(groups)
         stats = self.stats
-        decoded: list[tuple[str, bytes, ILPHeader, list[ILPPacket]]] = []
+        decoded: list[
+            tuple[str, bytes, ILPHeader, list[ILPPacket], CacheKey]
+        ] = []
         keys: list[CacheKey] = []
         counts: list[int] = []
         for (peer, plain), run in groups.items():
@@ -478,14 +646,13 @@ class PipeTerminus:
             except ILPError:
                 stats.drops_malformed += len(run)
                 continue
-            decoded.append((peer, plain, header, run))
-            keys.append(
-                CacheKey(
-                    src=peer,
-                    service_id=header.service_id,
-                    connection_id=header.connection_id,
-                )
+            key = CacheKey(
+                src=peer,
+                service_id=header.service_id,
+                connection_id=header.connection_id,
             )
+            decoded.append((peer, plain, header, run, key))
+            keys.append(key)
             counts.append(len(run))
         if not decoded:
             return
@@ -506,16 +673,20 @@ class PipeTerminus:
                     self.send_gather(g_peer, items, ctx=ctx)
             gather.clear()
 
-        ingress_decoded = self._ingress_decoded
-        for (peer, plain, header, run), decision in zip(decoded, decisions):
+        span: list[tuple[str, bytes, ILPHeader, list[ILPPacket], CacheKey]]
+        span = []
+        for row, decision in zip(decoded, decisions):
+            peer, plain, header, run, _key = row
             if decision is None:
-                # Cold group: replay per-packet — the first packet's punt
-                # may install the decision the rest of the group then
-                # hits, and each scalar lookup counts itself.
+                # Cold group: open (or extend) a cold span. Its emissions
+                # happen at span flush, which precedes the next hot
+                # group's, so segment emission order is preserved.
                 flush_gather()
-                for packet in run:
-                    ingress_decoded(peer, plain, packet, now)
+                span.append(row)
                 continue
+            if span:
+                self._process_cold_span(span, now)
+                span = []
             stats.fast_path += len(run)
             if decision.action is Action.DROP:
                 stats.drops_by_decision += len(run)
@@ -532,6 +703,208 @@ class PipeTerminus:
             else:
                 flush_gather()
                 self._apply_decision_run(decision, header, run)
+        if span:
+            self._process_cold_span(span, now)
+        flush_gather()
+
+    def _process_cold_span(
+        self,
+        rows: list[tuple[str, bytes, ILPHeader, list[ILPPacket], CacheKey]],
+        now: float,
+    ) -> None:
+        """Coalesce a span of consecutive cold groups through the slow path.
+
+        Three phases, each preserving per-flow order and the exact charges
+        the per-packet path would make:
+
+        1. **Plan.** Each group gets a mode. Offload-programmed services
+           replay per-packet (rules and meters are consulted per packet).
+           A group whose cache key already appeared in this span (the key
+           is not injective over flows: same connection, different TLVs)
+           or is already back in the cache (revived by an earlier span's
+           install in this segment) *drains* in phase 3 — its packets hit
+           whatever the span installs, exactly as they would per-packet,
+           and crucially without a second punt. Everything else is a true
+           cold flow: its **lead** is charged the scalar miss (one lookup)
+           and queued for the batch punt, its followers park in the miss
+           queue (overflow spills to per-packet replay).
+        2. **Punt.** All lead packets cross the service boundary in one
+           :meth:`_punt_batch` (one marshal round trip in IPC mode).
+        3. **Apply + drain.** In span order: a lead's verdict is applied
+           (installs + emits), then its parked followers take one
+           ``lookup_run`` — a hit drains them through the installed fast
+           path; a miss (the verdict installed nothing, or errored) hands
+           them back to per-packet replay, which re-punts each exactly as
+           the scalar path would. Drain/spill groups do the same minus
+           the lead punt. Drained runs — and verdict emits that forward
+           the lead's own payload — coalesce into the same per-next-hop
+           gather egress the hot path uses; anything emitting through
+           another code path flushes the gather first, keeping the same
+           ordering discipline as :meth:`_flush_segment`.
+        """
+        shard = self.shard_stats
+        shard.cold_spans += 1
+        shard.cold_groups += len(rows)
+        stats = self.stats
+        cache = self.cache
+        queue = self.miss_queue
+        offload = self.offload
+        ingress_decoded = self._ingress_decoded
+
+        gather: dict[str, list[tuple[bytes, Optional[str], list[ILPPacket]]]]
+        gather = {}
+
+        def flush_gather() -> None:
+            if not gather:
+                return
+            ctxs = self.keystore.prefetch(list(gather))
+            for g_peer, items in gather.items():
+                ctx = ctxs.get(g_peer)
+                if ctx is None:
+                    stats.drops_no_peer += sum(len(r) for _, _, r in items)
+                else:
+                    self.send_gather(g_peer, items, ctx=ctx)
+            gather.clear()
+
+        def gather_append(
+            peer: str, entry: tuple[bytes, Optional[str], list[ILPPacket]]
+        ) -> None:
+            items = gather.get(peer)
+            if items is None:
+                gather[peer] = [entry]
+            else:
+                items.append(entry)
+
+        # Phase 1 — plan.
+        modes: list[int] = []
+        leads: list[tuple[ILPHeader, ILPPacket]] = []
+        spills: dict[tuple[str, bytes], list[ILPPacket]] = {}
+        seen_keys: set[CacheKey] = set()
+        for peer, plain, header, run, key in rows:
+            if offload.has_program(header.service_id):
+                modes.append(_COLD_REPLAY)
+                continue
+            if key in seen_keys or key in cache:
+                # Membership only: no charge, no LRU touch — phase 3's
+                # lookup_run makes the (position-correct) charged probe.
+                modes.append(_COLD_DRAIN)
+                continue
+            seen_keys.add(key)
+            modes.append(_COLD_LEAD)
+            # Charge the lead's scalar miss (lookup_many charged nothing);
+            # misses touch no LRU state, so the early charge is invisible.
+            cache.lookup(key, now=now)
+            # Fresh header for the punt: services may retain or mutate
+            # what they are handed; the row header must stay pristine for
+            # the drain egress.
+            leads.append((ILPHeader.decode(plain), run[0]))
+            spill = queue.park((peer, plain), run[1:])
+            if spill:
+                spills[(peer, plain)] = spill
+
+        # Phase 2 — one batched boundary crossing for every lead.
+        verdicts = self._punt_batch(leads) if leads else []
+
+        # Phase 3 — apply verdicts and drain, in span order.
+        def drain_or_replay(
+            peer: str,
+            plain: bytes,
+            header: ILPHeader,
+            key: CacheKey,
+            packets: list[ILPPacket],
+            count_charge: int,
+        ) -> None:
+            """One charged probe, then gather-drain or per-packet replay."""
+            decision = cache.lookup_run(key, count_charge, now=now)
+            if decision is None:
+                flush_gather()
+                for packet in packets:
+                    ingress_decoded(peer, plain, packet, now)
+                return
+            stats.fast_path += len(packets)
+            targets = decision.targets
+            if (
+                decision.action is not Action.DROP
+                and len(targets) == 1
+                and not targets[0].tlv_updates
+            ):
+                gather_append(
+                    targets[0].peer,
+                    (header.encode(), header.get_str(TLV.SRC_HOST), packets),
+                )
+            else:
+                flush_gather()
+                self._apply_decision_run(decision, header, packets)
+
+        lead_i = 0
+        install_many = cache.install_many
+        for (peer, plain, header, run, key), mode in zip(rows, modes):
+            if mode == _COLD_REPLAY:
+                flush_gather()
+                for packet in run:
+                    ingress_decoded(peer, plain, packet, now)
+                continue
+            if mode == _COLD_DRAIN:
+                drain_or_replay(peer, plain, header, key, run, len(run))
+                continue
+            verdict = verdicts[lead_i]
+            lead_i += 1
+            if verdict is not None:
+                if verdict.installs:
+                    install_many(verdict.installs, now=now)
+                if verdict.dropped:
+                    stats.drops_by_service += 1
+                for emit in verdict.emits:
+                    # Ride the gather: send_gather only reads .payload
+                    # off the carrier, so the lead's (frozen) L3 header
+                    # is reused rather than re-parsed.
+                    gather_append(
+                        emit.peer,
+                        (
+                            emit.header.encode(),
+                            emit.header.get_str(TLV.SRC_HOST),
+                            [
+                                ILPPacket(
+                                    l3=run[0].l3,
+                                    ilp_wire=b"",
+                                    payload=emit.payload,
+                                )
+                            ],
+                        ),
+                    )
+            flow = (peer, plain)
+            count = queue.parked_count(flow)
+            if count:
+                decision = cache.lookup_run(key, count, now=now)
+                if decision is None:
+                    flush_gather()
+                    for packet in queue.drain(flow, fast=False):
+                        ingress_decoded(peer, plain, packet, now)
+                else:
+                    stats.fast_path += count
+                    parked = queue.drain(flow, fast=True)
+                    targets = decision.targets
+                    if (
+                        decision.action is not Action.DROP
+                        and len(targets) == 1
+                        and not targets[0].tlv_updates
+                    ):
+                        gather_append(
+                            targets[0].peer,
+                            (
+                                header.encode(),
+                                header.get_str(TLV.SRC_HOST),
+                                parked,
+                            ),
+                        )
+                    else:
+                        flush_gather()
+                        self._apply_decision_run(decision, header, parked)
+            spill = spills.get(flow)
+            if spill:
+                flush_gather()
+                for packet in spill:
+                    ingress_decoded(peer, plain, packet, now)
         flush_gather()
 
     # -- fast path --------------------------------------------------------
@@ -569,7 +942,11 @@ class PipeTerminus:
             self.stats.drops_no_service += 1
             return
         in_enclave = self.env.enclave_for(header.service_id) is not None
-        self.pending_delay += (
+        # One boundary round trip plus the service's per-packet CPU. A
+        # failed invocation still crossed the boundary and burned that
+        # CPU, so by default it bills the same latency; see
+        # :attr:`CostModel.bill_failed_invocations`.
+        latency = (
             self.cost_model.invocation_latency(self.channel.mode, in_enclave)
             + self.cost_model.service_packet
         )
@@ -579,14 +956,93 @@ class PipeTerminus:
             )
         except ServiceError:
             self.stats.drops_by_service += 1
+            if self.cost_model.bill_failed_invocations:
+                self.pending_delay += latency
             return
+        self.pending_delay += latency
         self.apply_verdict(verdict)
+
+    def _punt_batch(
+        self, punts: list[tuple[ILPHeader, ILPPacket]]
+    ) -> list[Optional[Verdict]]:
+        """Punt a cold span's leads across the boundary in one round trip.
+
+        Accounting matches :meth:`_punt` per lead — one punt each, missing
+        services count as no-service drops, failed ones as service drops —
+        but the invocation cost is amortized: one
+        :meth:`~repro.core.ipc.CostModel.batch_invocation_latency` for the
+        whole batch (the span's single marshal round trip, plus one
+        enclave crossing pair per enclave-hosted service group) and
+        ``service_packet`` per invoked lead. The shared crossing is always
+        billed once the batch is sent; with
+        ``bill_failed_invocations=False`` only the failed leads' service
+        CPU is waived. A single eligible lead takes the scalar
+        :meth:`~repro.core.ipc.InvocationChannel.invoke` path so its byte
+        accounting matches per-packet processing exactly.
+
+        Returns one entry per punt, in order (``None`` = no service or
+        service error). Verdicts are **not** applied here — the caller
+        applies them in span order.
+        """
+        stats = self.stats
+        env = self.env
+        cost = self.cost_model
+        results: list[Optional[Verdict]] = [None] * len(punts)
+        eligible: list[int] = []
+        enclave_services: set[int] = set()
+        for i, (header, _packet) in enumerate(punts):
+            stats.punts += 1
+            if not env.has_service(header.service_id):
+                stats.drops_no_service += 1
+                continue
+            eligible.append(i)
+            if env.enclave_for(header.service_id) is not None:
+                enclave_services.add(header.service_id)
+        if not eligible:
+            return results
+        if len(eligible) == 1:
+            i = eligible[0]
+            header, packet = punts[i]
+            latency = (
+                cost.invocation_latency(
+                    self.channel.mode, header.service_id in enclave_services
+                )
+                + cost.service_packet
+            )
+            try:
+                results[i] = self.channel.invoke(env.dispatch, header, packet)
+            except ServiceError:
+                stats.drops_by_service += 1
+                if cost.bill_failed_invocations:
+                    self.pending_delay += latency
+                return results
+            self.pending_delay += latency
+            return results
+        batch = [punts[i] for i in eligible]
+        verdicts = self.channel.invoke_batch(env.dispatch_batch, batch)
+        failed = 0
+        for i, verdict in zip(eligible, verdicts):
+            if verdict is None:
+                stats.drops_by_service += 1
+                failed += 1
+            else:
+                results[i] = verdict
+        billed = len(eligible)
+        if not cost.bill_failed_invocations:
+            billed -= failed
+        self.pending_delay += (
+            cost.batch_invocation_latency(
+                self.channel.mode, len(enclave_services)
+            )
+            + cost.service_packet * billed
+        )
+        return results
 
     def apply_verdict(self, verdict: Verdict) -> None:
         """Install cache entries and transmit a verdict's emitted packets."""
         now = self._clock()
-        for key, decision in verdict.installs:
-            self.cache.install(key, decision, now=now)
+        if verdict.installs:
+            self.cache.install_many(verdict.installs, now=now)
         if verdict.dropped:
             self.stats.drops_by_service += 1
         for emit in verdict.emits:

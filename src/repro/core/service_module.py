@@ -97,6 +97,37 @@ class ServiceModule(abc.ABC):
         """Out-of-band control messages (§3.2's second invocation mode)."""
         return Verdict.drop()
 
+    def handle_batch(
+        self, punts: list[tuple[ILPHeader, Any]]
+    ) -> list[Optional[Verdict]]:
+        """Vectorized slow-path handler for a batch of punted packets.
+
+        The execution environment groups a batched invocation's punts by
+        service and hands each module its whole group at once, so the
+        per-invocation overhead (IPC marshalling, enclave crossings) is
+        paid per batch rather than per packet. The default implementation
+        simply replays per packet — ``handle_packet`` for data,
+        ``handle_control`` for control — preserving exact per-packet
+        semantics; modules with amortizable work (shared config reads,
+        bulk policy checks) override it.
+
+        Contract: return exactly one entry per punt, in punt order. A
+        ``None`` entry marks a punt whose handling raised
+        :class:`ServiceError` (per-punt error isolation — the rest of the
+        batch still gets its verdicts); raising from an override fails the
+        whole batch instead.
+        """
+        out: list[Optional[Verdict]] = []
+        for header, packet in punts:
+            handler = (
+                self.handle_control if header.is_control else self.handle_packet
+            )
+            try:
+                out.append(handler(header, packet))
+            except ServiceError:
+                out.append(None)
+        return out
+
     # -- fault tolerance --------------------------------------------------
     def checkpoint(self) -> dict[str, Any]:
         """Serializable module state for standby replication (§3.3)."""

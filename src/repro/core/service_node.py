@@ -248,6 +248,9 @@ class ServiceNode(NetNode):
         self.crashes += 1
         self.fail()
         self.cache.evict_random_fraction(1.0)
+        # Packets parked in the miss queue are in-flight datapath state —
+        # lost with the rest of the terminus, accounted as dropped.
+        self.terminus.miss_queue.discard_all()
 
     def restart(self) -> None:
         """Recover from :meth:`crash`: links up, health and routing resynced.

@@ -32,6 +32,16 @@ variants feed the same sequences through a seeded wire-fault transform
 (drops, duplicates, auth-tag corruption — the shapes a lossy or hostile
 pipe produces) before both rigs see them: equivalence must hold, stats
 included, for whatever actually arrives.
+
+The batched rig's cold groups take the **coalesced miss path** (lead
+punt + miss-queue drain, spans batched through ``invoke_batch`` — see
+the terminus module docstring), so these properties also pin down its
+equivalence: identical punt counts, invocation counts, installs, and
+per-flow emissions whether the slow path runs per-packet or coalesced.
+The cold-storm properties below drive that path directly — all-miss
+interleaved bursts, installing and non-installing services mixed — and
+additionally assert the miss-queue ledger balances (every parked packet
+drained or replayed, none live after the burst).
 """
 
 from __future__ import annotations
@@ -399,6 +409,100 @@ def test_interleaved_batch_preserves_per_flow_output(specs):
 def test_interleaved_batch_preserves_per_flow_output_under_faults(specs, seed):
     """Per-flow equivalence survives seeded drops/dups/corruption."""
     _assert_per_flow_equivalent(apply_wire_faults(specs, seed))
+
+
+# -- cold storms: the coalesced miss path ---------------------------------
+
+# All-miss material: data packets only, caches start empty, connection IDs
+# cover every verdict mode of _DeterministicService (install+emit,
+# emit-no-install, drop, fan-out install) plus offload-programmed and
+# missing services — i.e. every branch of the cold-span planner.
+_storm_spec_list = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.sampled_from([42, 42, 42, OFFLOAD_SERVICE, MISSING_SERVICE]),
+        st.sampled_from([0, 8, 40]),
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=64,
+).map(
+    lambda rows: [
+        {
+            "kind": "data",
+            "peer": PEER_A if conn % 2 == 0 else PEER_B,
+            "service_id": service_id,
+            "conn": conn,
+            "payload_len": payload_len,
+            "src_host": src_host,
+            "seq": None,
+            "flags": Flags.NONE,
+        }
+        for conn, service_id, payload_len, src_host in rows
+    ]
+)
+
+
+def _assert_storm_equivalent(specs: list[dict], rig_factory=None) -> None:
+    rig_scalar, rig_batch = _drive(specs, rig_factory)
+    assert _per_flow_projection(rig_batch) == _per_flow_projection(rig_scalar)
+    assert _relaxed_state(rig_batch) == _relaxed_state(rig_scalar)
+    # Coalescing must not change how much slow-path traffic the services
+    # see: same punt count (also covered by _relaxed_state) and the same
+    # number of invocations crossing the channel, however they are framed.
+    scalar_ch, batch_ch = (
+        rig_scalar.terminus.channel.stats,
+        rig_batch.terminus.channel.stats,
+    )
+    assert batch_ch.invocations == scalar_ch.invocations
+    # Miss-queue ledger: every parked packet left through exactly one
+    # exit, and none is still parked after the burst.
+    queue = rig_batch.terminus.miss_queue
+    assert queue.live == 0
+    mq = queue.stats
+    assert mq.parked == mq.drained_fast + mq.replayed + mq.dropped
+    # The scalar rig never parks anything.
+    assert rig_scalar.terminus.miss_queue.stats.parked == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(_storm_spec_list)
+def test_cold_storm_coalesced_miss_path_is_equivalent(specs):
+    """All-miss interleaved bursts: coalesced punts ≡ per-packet punts.
+
+    Installing flows punt once and drain their followers off the fresh
+    install; non-installing/missing-service flows fall back to per-packet
+    replay — either way every per-flow observable, every stats counter,
+    and the total invocation count must equal the scalar slow path.
+    """
+    _assert_storm_equivalent(specs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_storm_spec_list, st.integers(min_value=0, max_value=2**32 - 1))
+def test_cold_storm_equivalence_under_faults(specs, seed):
+    """Seeded drops/dups/corruption cannot desynchronize the miss path."""
+    _assert_storm_equivalent(apply_wire_faults(specs, seed))
+
+
+class _TinyQueueRig(_Rig):
+    """A rig whose miss queue parks at most one follower per flow.
+
+    Forces the spill path on nearly every cold group: spilled packets
+    must flow through per-packet processing after the drained followers,
+    preserving per-flow order and all counters.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.terminus.miss_queue.limit = 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(_storm_spec_list)
+def test_cold_storm_equivalence_with_overflowing_miss_queue(specs):
+    """A saturated miss queue degrades to per-packet replay, not divergence."""
+    _assert_storm_equivalent(specs, _TinyQueueRig)
 
 
 # -- distinct egress associations: byte-identical wire output ------------

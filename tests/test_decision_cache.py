@@ -64,6 +64,48 @@ class TestLookupInstall:
         assert cache.stats.hit_rate == 0.5
 
 
+class TestInstallMany:
+    def _snapshot(self, cache):
+        return (
+            cache.snapshot_entries(),
+            cache.stats.installs,
+            cache.stats.evictions,
+            len(cache),
+        )
+
+    def test_equivalent_to_sequential_installs(self):
+        pairs = [(key(i), Decision.drop()) for i in range(6)]
+        pairs.append((key(2), Decision.forward("10.0.0.9")))  # replace
+        seq, batch = DecisionCache(capacity=8), DecisionCache(capacity=8)
+        for k, d in pairs:
+            seq.install(k, d, now=1.0)
+        batch.install_many(pairs, now=1.0)
+        assert self._snapshot(batch) == self._snapshot(seq)
+
+    def test_replacement_moves_to_lru_tail(self):
+        cache = DecisionCache(capacity=8)
+        cache.install(key(1), Decision.drop())
+        cache.install(key(2), Decision.drop())
+        cache.install_many([(key(1), Decision.forward("10.0.0.9"))])
+        entries = cache.snapshot_entries()
+        assert entries[-1][0] == key(1)
+        assert cache.lookup(key(1)).targets[0].peer == "10.0.0.9"
+
+    def test_evicts_at_capacity_like_install(self):
+        seq, batch = DecisionCache(capacity=4), DecisionCache(capacity=4)
+        pairs = [(key(i), Decision.drop()) for i in range(10)]
+        for k, d in pairs:
+            seq.install(k, d)
+        batch.install_many(pairs)
+        assert self._snapshot(batch) == self._snapshot(seq)
+
+    def test_empty_batch_is_noop(self):
+        cache = DecisionCache()
+        cache.install_many([])
+        assert cache.stats.installs == 0
+        assert len(cache) == 0
+
+
 class TestCapacityEviction:
     def test_capacity_bound_holds(self):
         cache = DecisionCache(capacity=16)

@@ -93,6 +93,100 @@ class TestDispatch:
         assert verdict.dropped
 
 
+class _SecondProbe(_Probe):
+    SERVICE_ID = 0x0BBB
+    NAME = "probe-2"
+
+
+class _FaultyProbe(ServiceModule):
+    SERVICE_ID = 0x0CCC
+    NAME = "faulty"
+
+    def handle_packet(self, header, packet) -> Verdict:
+        if header.connection_id % 2:
+            raise ServiceError("odd connections rejected")
+        return Verdict.drop()
+
+
+class _VectorProbe(_Probe):
+    SERVICE_ID = 0x0DDD
+    NAME = "vector"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.batch_sizes: list[int] = []
+
+    def handle_batch(self, punts):
+        self.batch_sizes.append(len(punts))
+        return super().handle_batch(punts)
+
+
+class TestDispatchBatch:
+    def _punt(self, service_id, conn):
+        return (ILPHeader(service_id=service_id, connection_id=conn), None)
+
+    def test_groups_by_service_preserving_order(self, env):
+        a, b = env.load(_Probe()), env.load(_SecondProbe())
+        punts = [
+            self._punt(_Probe.SERVICE_ID, 0),
+            self._punt(_SecondProbe.SERVICE_ID, 1),
+            self._punt(_Probe.SERVICE_ID, 2),
+        ]
+        results = env.dispatch_batch(punts)
+        assert len(results) == 3
+        assert all(v is not None and v.dropped for v in results)
+        assert a.data_calls == 2
+        assert b.data_calls == 1
+
+    def test_per_punt_error_isolation(self, env):
+        env.load(_FaultyProbe())
+        punts = [self._punt(_FaultyProbe.SERVICE_ID, c) for c in range(4)]
+        results = env.dispatch_batch(punts)
+        assert [v is None for v in results] == [False, True, False, True]
+
+    def test_handle_batch_override_sees_whole_group(self, env):
+        module = env.load(_VectorProbe())
+        punts = [self._punt(_VectorProbe.SERVICE_ID, c) for c in range(5)]
+        env.dispatch_batch(punts)
+        assert module.batch_sizes == [5]
+
+    def test_missing_service_raises(self, env):
+        env.load(_Probe())
+        with pytest.raises(ServiceError):
+            env.dispatch_batch(
+                [self._punt(_Probe.SERVICE_ID, 0), self._punt(0x0EEE, 1)]
+            )
+
+    def test_enclaved_group_pays_one_crossing_pair(self, env):
+        env.load(_Probe(), use_enclave=True)
+        enclave = env.enclave_for(_Probe.SERVICE_ID)
+        punts = [self._punt(_Probe.SERVICE_ID, c) for c in range(8)]
+        before = enclave.stats.crossings
+        results = env.dispatch_batch(punts)
+        assert all(v is not None for v in results)
+        assert enclave.stats.crossings == before + 2  # in + out, once
+
+    def test_control_punts_route_to_handle_control(self, env):
+        module = env.load(_Probe())
+        header = ILPHeader(
+            service_id=_Probe.SERVICE_ID, connection_id=1, flags=Flags.CONTROL
+        )
+        env.dispatch_batch([(header, None)])
+        assert module.control_calls == 1
+        assert module.data_calls == 0
+
+    def test_wrong_length_batch_fails_group(self, env):
+        class _Short(_Probe):
+            SERVICE_ID = 0x0FFF
+
+            def handle_batch(self, punts):
+                return []  # violates one-entry-per-punt
+
+        env.load(_Short())
+        results = env.dispatch_batch([self._punt(0x0FFF, 0)])
+        assert results == [None]
+
+
 class TestConfigStore:
     def test_scope_items_and_scopes(self):
         config = ConfigStore()

@@ -272,6 +272,125 @@ class TestBatchIngress:
         assert fx.terminus.stats.packets_in == 0
 
 
+def _installing_verdict(header, packet):
+    verdict = Verdict.forward(PEER_B, header, packet.payload)
+    verdict.installs.append(
+        (
+            CacheKey(packet.l3.src, 42, header.connection_id),
+            Decision.forward(PEER_B),
+        )
+    )
+    return verdict
+
+
+class TestMissCoalescing:
+    """Cold groups punt once per flow and drain off the fresh install."""
+
+    FLOWS = 8
+    DEPTH = 6
+
+    def _cold_storm(self, fx):
+        """Interleaved all-miss burst: FLOWS flows, DEPTH packets each."""
+        return [
+            fx.packet(conn=flow)
+            for _ in range(self.DEPTH)
+            for flow in range(self.FLOWS)
+        ]
+
+    def test_installing_service_punts_once_per_flow(self):
+        fx = _Fixture(_RecordingService(_installing_verdict))
+        fx.terminus.receive_batch(self._cold_storm(fx))
+        stats = fx.terminus.stats
+        assert stats.punts == self.FLOWS
+        assert len(fx.service.seen) == self.FLOWS
+        # Every packet still egresses: one verdict emit per lead, the
+        # followers through the installed decision.
+        assert len(fx.sent) == self.FLOWS * self.DEPTH
+        assert stats.fast_path == self.FLOWS * (self.DEPTH - 1)
+
+    def test_leads_cross_boundary_in_one_batch(self):
+        fx = _Fixture(_RecordingService(_installing_verdict))
+        fx.terminus.receive_batch(self._cold_storm(fx))
+        ch = fx.terminus.channel.stats
+        assert ch.invocations == self.FLOWS
+        assert ch.batches == 1
+        assert ch.max_batch == self.FLOWS
+        shard = fx.terminus.shard_stats
+        assert shard.cold_spans == 1
+        assert shard.cold_groups == self.FLOWS
+
+    def test_miss_queue_ledger_balances(self):
+        fx = _Fixture(_RecordingService(_installing_verdict))
+        fx.terminus.receive_batch(self._cold_storm(fx))
+        queue = fx.terminus.miss_queue
+        assert queue.live == 0
+        expected_parked = self.FLOWS * (self.DEPTH - 1)
+        assert queue.stats.parked == expected_parked
+        assert queue.stats.drained_fast == expected_parked
+        assert queue.stats.replayed == queue.stats.dropped == 0
+
+    def test_non_installing_service_replays_per_packet(self):
+        fx = _Fixture()  # default verdict: drop, no install
+        fx.terminus.receive_batch(self._cold_storm(fx))
+        # Followers find no install and re-punt individually, exactly
+        # like the per-packet slow path.
+        assert fx.terminus.stats.punts == self.FLOWS * self.DEPTH
+        assert len(fx.service.seen) == self.FLOWS * self.DEPTH
+        queue = fx.terminus.miss_queue
+        assert queue.live == 0
+        assert queue.stats.replayed == queue.stats.parked
+
+    def test_overflow_spills_to_per_packet_processing(self):
+        fx = _Fixture(_RecordingService(_installing_verdict))
+        fx.terminus.miss_queue.limit = 2
+        fx.terminus.receive_batch(self._cold_storm(fx))
+        queue = fx.terminus.miss_queue
+        assert queue.stats.spilled == self.FLOWS * (self.DEPTH - 1 - 2)
+        assert queue.stats.parked == self.FLOWS * 2
+        # Spilled packets hit the install via the scalar path: nothing lost.
+        assert len(fx.sent) == self.FLOWS * self.DEPTH
+        assert fx.terminus.stats.punts == self.FLOWS
+
+    def test_barriers_flush_spans_and_punt_individually(self):
+        fx = _Fixture(_RecordingService(_installing_verdict))
+        batch = [
+            fx.packet(conn=1),
+            fx.packet(conn=2),
+            fx.packet(conn=1, flags=Flags.CONTROL),
+            fx.packet(conn=1),
+            fx.packet(conn=2),
+        ]
+        fx.terminus.receive_batch(batch)
+        # The barrier splits the burst into two segments: conns 1 and 2
+        # punt cold in the first, hit their installs in the second.
+        assert len(fx.service.control_seen) == 1
+        assert fx.terminus.stats.punts == 3  # 2 cold leads + the control
+        assert fx.terminus.stats.fast_path == 2
+        assert fx.terminus.miss_queue.live == 0
+
+    def test_crash_discards_parked_packets_as_dropped(self):
+        fx = _Fixture()
+        queue = fx.terminus.miss_queue
+        queue.park((PEER_A, b"flow"), [fx.packet(), fx.packet()])
+        assert queue.live == 2
+        fx.node.crash()
+        assert queue.live == 0
+        assert queue.stats.dropped == 2
+        # Ledger still balances after the wipe.
+        st = queue.stats
+        assert st.parked == st.drained_fast + st.replayed + st.dropped
+
+    def test_miss_queue_drain_preserves_arrival_order(self):
+        fx = _Fixture()
+        queue = fx.terminus.miss_queue
+        first, second = fx.packet(data=b"1"), fx.packet(data=b"2")
+        queue.park((PEER_A, b"flow"), [first])
+        queue.park((PEER_A, b"flow"), [second])
+        drained = queue.drain((PEER_A, b"flow"), fast=True)
+        assert [p.payload.data for p in drained] == [b"1", b"2"]
+        assert queue.drain((PEER_A, b"flow"), fast=True) == []
+
+
 class TestPreEncodedSend:
     def test_send_with_precomputed_encoding(self):
         fx = _Fixture()

@@ -143,6 +143,58 @@ class TestCacheCoherence:
             cache.check_index_coherence()
 
 
+class TestMissQueueLedger:
+    def _queue(self):
+        from repro.core.pipe_terminus import MissQueue
+
+        return MissQueue(limit=4)
+
+    def test_clean_queue_passes(self, armed):
+        queue = self._queue()
+        queue.park(("p", b"f"), ["a", "b"])
+        queue.drain(("p", b"f"), fast=True)
+        queue.check_drained()
+
+    def test_leak_detected(self, armed):
+        queue = self._queue()
+        queue.park(("p", b"f"), ["a"])
+        with pytest.raises(sanitize.SanitizeError, match="miss-queue-leak"):
+            queue.check_drained()
+
+    def test_ledger_violation_detected(self, armed):
+        queue = self._queue()
+        queue.park(("p", b"f"), ["a"])
+        queue.drain(("p", b"f"), fast=True)
+        # Corrupt the ledger: a drain that was never parked.
+        queue.stats.drained_fast += 1  # repro: allow(DET002)
+        with pytest.raises(sanitize.SanitizeError, match="miss-queue-ledger"):
+            queue.check_drained()
+
+    def test_crash_discard_keeps_ledger_clean(self, armed):
+        queue = self._queue()
+        queue.park(("p", b"f"), ["a", "b", "c"])
+        assert queue.discard_all() == 3
+        queue.check_drained()
+        assert queue.stats.dropped == 3
+
+    def _node(self):
+        from repro.core.service_node import ServiceNode
+        from repro.netsim import Simulator
+
+        return ServiceNode(Simulator(), "sn", "10.0.0.1")
+
+    def test_batch_ingress_detects_leak_when_armed(self, armed):
+        node = self._node()
+        node.terminus.miss_queue.park(("p", b"f"), ["stuck"])
+        with pytest.raises(sanitize.SanitizeError, match="miss-queue-leak"):
+            node.terminus.receive_batch([])
+
+    def test_batch_ingress_skips_check_when_disarmed(self, disarmed):
+        node = self._node()
+        node.terminus.miss_queue.park(("p", b"f"), ["stuck"])
+        assert node.terminus.receive_batch([]) == 0
+
+
 class TestHeaderReencode:
     def test_fresh_encode_passes(self):
         header = ILPHeader(service_id=7, connection_id=42)
