@@ -23,6 +23,10 @@ it in CI:
   coalesced miss path (one lead punt per flow, batched per span, with
   followers drained off the fresh install), ``coalesced ≥ 2×
   per-packet`` relative gate;
+* the observability overhead gate: the warm flow-local burst with obs
+  disabled (shared no-op recorder) vs armed-but-quiet (``sample_every=0``)
+  vs fully sampled, with the relative gate ``quiet ≥ 0.97 × disabled``
+  (the ≤3% disabled-overhead budget of the obs subsystem);
 * a netsim engine microbench: event churn (schedule + dispatch) and
   timer re-arm throughput on the tuple-heap event loop, plus the
   lazy-cancel ledger (``pending`` vs ``pending_raw``) under a
@@ -305,6 +309,77 @@ def test_cold_storm():
     )
 
 
+def test_obs_overhead_gate():
+    """Observability overhead gate: disabled obs costs ≤ 3%, same run.
+
+    Three arms over the identical warm flow-local burst:
+
+    * ``disabled`` — the default shared :data:`NULL_RECORDER` (what every
+      uninstrumented run pays: one attr load + flag check per stage);
+    * ``quiet`` — recorder attached with ``sample_every=0`` (the armed
+      guard path plus latency-histogram recording, zero spans);
+    * ``sampled`` — ``sample_every=1``, every trace recorded into a
+      bounded ring (the full price of observability, informational).
+
+    The gate is **relative, same run**: quiet ≥ 0.97 × disabled, so
+    container speed cannot flake it. Trials interleave across arms
+    (best-of-3 each) to decorrelate clock drift. Absolute numbers land
+    in ``BENCH_terminus.json`` under ``obs_overhead`` for the cross-PR
+    trajectory.
+    """
+
+    from repro.obs import NULL_RECORDER
+
+    # One rig for every arm, toggled between trials: identical objects,
+    # dict layouts, and allocator state, so the ratio reflects only the
+    # instrumentation branches — not per-process layout luck.
+    node, tx, _ = _make_rig()
+    for conn in range(1, 65):
+        node.cache.install(CacheKey(INGRESS, 2, conn), Decision.forward(EGRESS))
+    obs = node.enable_observability(sample_every=0, capacity=4096)
+    terminus = node.terminus
+
+    def set_arm(arm: str) -> None:
+        if arm == "disabled":
+            terminus.obs = None
+            terminus.recorder = NULL_RECORDER
+            terminus.channel.recorder = NULL_RECORDER
+        else:
+            obs.recorder.sample_every = 1 if arm == "sampled" else 0
+            terminus.obs = obs
+            terminus.recorder = obs.recorder
+            terminus.channel.recorder = obs.recorder
+
+    arms = ("disabled", "quiet", "sampled")
+    best = dict.fromkeys(arms, 0.0)
+    for round_i in range(5):
+        for arm_i in range(len(arms)):
+            arm = arms[(round_i + arm_i) % len(arms)]  # rotate vs drift
+            set_arm(arm)
+            pps = _measure_pps(
+                terminus.receive_batch, lambda: _flow_local_burst(tx, flows=1)
+            )
+            best[arm] = max(best[arm], pps)
+    quiet_ratio = best["quiet"] / best["disabled"]
+    sampled_ratio = best["sampled"] / best["disabled"]
+    _results["obs_overhead"] = {
+        "disabled_pps": round(best["disabled"], 1),
+        "quiet_pps": round(best["quiet"], 1),
+        "sampled_pps": round(best["sampled"], 1),
+        "quiet_ratio": round(quiet_ratio, 4),
+        "sampled_ratio": round(sampled_ratio, 4),
+        "gate": "quiet >= 0.97 * disabled",
+    }
+    # The armed arms really observed: every armed-trial egress recorded
+    # into the latency histogram, and the sampled arm captured spans.
+    assert obs.terminus_latency.count > 0
+    assert len(obs.recorder) > 0
+    assert quiet_ratio >= 0.97, (
+        f"quiet observability costs {(1 - quiet_ratio) * 100:.1f}% "
+        f"({best['quiet']:.0f} vs {best['disabled']:.0f} pps); gate is 3%"
+    )
+
+
 def test_netsim_engine_event_throughput():
     """Event-loop churn: schedule+dispatch and timer re-arm rates."""
     sim = Simulator()
@@ -403,6 +478,7 @@ def teardown_module(module):
         "flow_locality",
         "interleaved_sharding",
         "cold_storm",
+        "obs_overhead",
         "netsim_engine",
         "netsim_burst",
     ):

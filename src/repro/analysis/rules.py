@@ -423,7 +423,58 @@ def rule_res001(ctx: ModuleContext) -> list[Finding]:
     return findings
 
 
-ALL_RULES = (rule_det001, rule_det002, rule_wire001, rule_res001)
+# --------------------------------------------------------------------------
+# OBS001 — every begin_span call site has a matching end_span
+# --------------------------------------------------------------------------
+
+
+def rule_obs001(ctx: ModuleContext) -> list[Finding]:
+    """OBS001: flight-recorder spans are closed, per class.
+
+    Same ownership model as RES001: a class that calls ``begin_span()``
+    somewhere must also call ``end_span()`` somewhere (try/finally and
+    error paths included — the textual pairing is the invariant the rule
+    can check; the conformance suite checks the dynamic one). The class
+    *providing* the span API (it defines a ``begin_span`` method) is not
+    a consumer. Unclosed spans poison duration queries and leak the
+    trace's structure, so they must not ship.
+    """
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        method_names = {
+            stmt.name for stmt in node.body if isinstance(stmt, ast.FunctionDef)
+        }
+        calls = _calls_in(node)
+        if "begin_span" not in calls:
+            continue
+        # The recorder class implementing the span API is not a consumer.
+        if "begin_span" in method_names:
+            continue
+        if "end_span" in calls:
+            continue
+        # Locate the first offending call for a precise location.
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "begin_span"
+            ):
+                found = ctx.finding(
+                    inner,
+                    "OBS001",
+                    f"class {node.name} opens a span with begin_span() "
+                    "but never calls end_span(); spans must be closed "
+                    "on every path",
+                )
+                if found is not None:
+                    findings.append(found)
+                break
+    return findings
+
+
+ALL_RULES = (rule_det001, rule_det002, rule_wire001, rule_res001, rule_obs001)
 
 RULE_DOCS = {
     "DET001": "no unseeded nondeterminism (global RNG, wall clock, "
@@ -431,4 +482,5 @@ RULE_DOCS = {
     "DET002": "no cross-module reach-ins to private attributes",
     "WIRE001": "wire-path classes declare slots and pair encode/decode",
     "RES001": "every watch registration has a matching teardown",
+    "OBS001": "every begin_span call site has a matching end_span",
 }

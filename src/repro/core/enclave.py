@@ -21,10 +21,14 @@ from __future__ import annotations
 import hashlib
 import pickle
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from ..obs.recorder import NULL_RECORDER
 from .attestation import PCR_ENCLAVE, SoftwareTPM, measure
 from .crypto import NonceGenerator, random_key, seal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.recorder import FlightRecorder, NullRecorder
 
 
 class EnclaveError(Exception):
@@ -57,6 +61,9 @@ class Enclave:
         self._memory_key = random_key()
         self._nonce = NonceGenerator()
         self.stats = EnclaveStats()
+        #: Flight recorder for crossing events; the shared no-op until the
+        #: execution environment threads a real one through.
+        self.recorder: "FlightRecorder | NullRecorder" = NULL_RECORDER
         self._tpm = tpm
         if tpm is not None:
             tpm.extend(PCR_ENCLAVE, self.measurement)
@@ -74,6 +81,10 @@ class Enclave:
         sealed = seal(self._memory_key, nonce, blob)
         self.stats.crossings += 1
         self.stats.bytes_crossed += len(blob)
+        if self.recorder.recording:
+            self.recorder.event(
+                "enclave.cross", module=self.module_name, nbytes=len(blob)
+            )
         # Unseal (the inverse XOR+verify) is symmetric work; reuse seal's
         # output length by stripping the tag and re-deriving the plaintext.
         from .crypto import open_sealed

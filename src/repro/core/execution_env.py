@@ -14,6 +14,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from ..obs.recorder import NULL_RECORDER
 from .attestation import PCR_SERVICES, SoftwareTPM
 from .decision_cache import CacheKey, Decision
 from .enclave import Enclave, module_image
@@ -22,6 +23,7 @@ from .packet import Payload
 from .service_module import ServiceError, ServiceModule, Verdict
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.recorder import FlightRecorder, NullRecorder
     from .service_node import ServiceNode
 
 
@@ -227,6 +229,9 @@ class ExecutionEnvironment:
         self.libs = LibraryRegistry()
         self.checkpoints = CheckpointManager()
         self.tpm = tpm or SoftwareTPM()
+        #: Flight recorder for dispatch spans; the shared no-op until
+        #: :meth:`set_recorder` installs a real one.
+        self.recorder: "FlightRecorder | NullRecorder" = NULL_RECORDER
         self._services: dict[int, _LoadedService] = {}
         # Every SN ships the standard library set (§3.1); operators may
         # later swap in accelerated variants via libs.provide().
@@ -251,6 +256,8 @@ class ExecutionEnvironment:
         enclave = (
             Enclave(module.NAME, image, tpm=self.tpm) if in_enclave else None
         )
+        if enclave is not None:
+            enclave.recorder = self.recorder
         ctx = ServiceContext(
             node=self.node,
             service_id=service_id,
@@ -279,6 +286,16 @@ class ExecutionEnvironment:
         loaded = self._services.get(service_id)
         return loaded.enclave if loaded else None
 
+    def set_recorder(self, recorder: "FlightRecorder | NullRecorder") -> None:
+        """Thread a flight recorder through dispatch and loaded enclaves.
+
+        Modules loaded later inherit it at :meth:`load` time.
+        """
+        self.recorder = recorder
+        for loaded in self._services.values():
+            if loaded.enclave is not None:
+                loaded.enclave.recorder = recorder
+
     def service_ids(self) -> list[int]:
         return sorted(self._services)
 
@@ -291,9 +308,16 @@ class ExecutionEnvironment:
             handler = loaded.module.handle_control
         else:
             handler = loaded.module.handle_packet
-        if loaded.enclave is not None:
-            return loaded.enclave.call(handler, header, packet)
-        return handler(header, packet)
+        recorder = self.recorder
+        span = recorder.begin_span(
+            "env.dispatch", service=header.service_id, n=1
+        )
+        try:
+            if loaded.enclave is not None:
+                return loaded.enclave.call(handler, header, packet)
+            return handler(header, packet)
+        finally:
+            recorder.end_span(span)
 
     def dispatch_batch(
         self, punts: list[tuple[ILPHeader, Any]]
@@ -314,6 +338,10 @@ class ExecutionEnvironment:
         groups: dict[int, list[int]] = {}
         for i, (header, _packet) in enumerate(punts):
             groups.setdefault(header.service_id, []).append(i)
+        recorder = self.recorder
+        span = recorder.begin_span(
+            "env.dispatch", n=len(punts), services=len(groups)
+        )
         for service_id, indices in groups.items():
             loaded = self._services.get(service_id)
             if loaded is None:
@@ -335,6 +363,7 @@ class ExecutionEnvironment:
                 continue  # whole group errored; its entries stay None
             for i, verdict in zip(indices, verdicts):
                 results[i] = verdict
+        recorder.end_span(span)
         return results
 
     def checkpoint_all(self) -> None:

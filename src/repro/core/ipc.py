@@ -29,7 +29,10 @@ import pickle
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
+from ..obs.recorder import NULL_RECORDER
+
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.recorder import FlightRecorder, NullRecorder
     from .ilp import ILPHeader
 
 
@@ -137,6 +140,9 @@ class InvocationChannel:
     def __init__(self, mode: InvocationMode = InvocationMode.IPC) -> None:
         self.mode = mode
         self.stats = IPCStats()
+        #: Flight recorder for boundary spans; the shared no-op by default
+        #: (installed by ``ServiceNode.enable_observability``).
+        self.recorder: "FlightRecorder | NullRecorder" = NULL_RECORDER
 
     def invoke(
         self,
@@ -146,18 +152,25 @@ class InvocationChannel:
     ) -> Any:
         stats = self.stats
         stats.invocations += 1
-        if self.mode is InvocationMode.IPC:
-            request = pickle.dumps((header, packet), protocol=pickle.HIGHEST_PROTOCOL)
-            stats._account(self.mode, len(request))
-            rx_header, rx_packet = pickle.loads(request)
-            result = handler(rx_header, rx_packet)
-            response = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-            stats._account(self.mode, len(response))
-            return pickle.loads(response)
-        # Shared-memory mode: hand over references; model the ring-buffer
-        # write with a single small copy of the header bytes.
-        stats._account(self.mode, len(bytes(header.encode())))
-        return handler(header, packet)
+        recorder = self.recorder
+        span = recorder.begin_span("ipc.invoke", mode=self.mode.value, n=1)
+        try:
+            if self.mode is InvocationMode.IPC:
+                request = pickle.dumps(
+                    (header, packet), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                stats._account(self.mode, len(request))
+                rx_header, rx_packet = pickle.loads(request)
+                result = handler(rx_header, rx_packet)
+                response = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                stats._account(self.mode, len(response))
+                return pickle.loads(response)
+            # Shared-memory mode: hand over references; model the ring-buffer
+            # write with a single small copy of the header bytes.
+            stats._account(self.mode, len(bytes(header.encode())))
+            return handler(header, packet)
+        finally:
+            recorder.end_span(span)
 
     def invoke_batch(
         self,
@@ -178,15 +191,22 @@ class InvocationChannel:
         stats.batches += 1
         if len(punts) > stats.max_batch:
             stats.max_batch = len(punts)
-        if self.mode is InvocationMode.IPC:
-            request = pickle.dumps(punts, protocol=pickle.HIGHEST_PROTOCOL)
-            stats._account(self.mode, len(request))
-            rx_punts = pickle.loads(request)
-            results = handler(rx_punts)
-            response = pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL)
-            stats._account(self.mode, len(response))
-            out: list[Any] = pickle.loads(response)
-            return out
-        for punt_header, _packet in punts:
-            stats._account(self.mode, len(bytes(punt_header.encode())))
-        return handler(punts)
+        recorder = self.recorder
+        span = recorder.begin_span(
+            "ipc.invoke", mode=self.mode.value, n=len(punts)
+        )
+        try:
+            if self.mode is InvocationMode.IPC:
+                request = pickle.dumps(punts, protocol=pickle.HIGHEST_PROTOCOL)
+                stats._account(self.mode, len(request))
+                rx_punts = pickle.loads(request)
+                results = handler(rx_punts)
+                response = pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL)
+                stats._account(self.mode, len(response))
+                out: list[Any] = pickle.loads(response)
+                return out
+            for punt_header, _packet in punts:
+                stats._account(self.mode, len(bytes(punt_header.encode())))
+            return handler(punts)
+        finally:
+            recorder.end_span(span)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from ..obs import MetricsRegistry, merged_registry, to_json, to_table
 from .federation import InterEdge
 from .service_node import ServiceNode
 
@@ -43,6 +44,17 @@ class SNSnapshot:
     keepalives_sent: int = 0
     keepalives_received: int = 0
     crashed: bool = False
+    # Miss-queue accounting (parked is cumulative; dropped feeds `drops`).
+    miss_parked: int = 0
+    miss_dropped: int = 0
+    # Latency percentiles from the obs histograms (seconds; zeros when the
+    # SN runs without observability — see ServiceNode.enable_observability).
+    lat_p50: float = 0.0
+    lat_p99: float = 0.0
+    lat_p999: float = 0.0
+    punt_p50: float = 0.0
+    punt_p99: float = 0.0
+    punt_p999: float = 0.0
 
     @property
     def fast_path_fraction(self) -> float:
@@ -58,13 +70,18 @@ def snapshot_sn(sn: ServiceNode) -> SNSnapshot:
     from .resilience import PeerState
 
     stats = sn.terminus.stats
+    miss_stats = sn.terminus.miss_queue.stats
+    # Every drop exit the datapath has: terminus counters (including the
+    # offload stage) plus packets discarded from the miss queue on crash.
     drops = (
         stats.drops_no_peer
         + stats.drops_auth
         + stats.drops_malformed
         + stats.drops_no_service
         + stats.drops_by_decision
+        + stats.drops_by_offload
         + stats.drops_by_service
+        + miss_stats.dropped
     )
     if sn.health is not None:
         states = sn.health.state_counts()
@@ -76,6 +93,18 @@ def snapshot_sn(sn: ServiceNode) -> SNSnapshot:
     else:
         pipes_up = pipes_suspect = pipes_dead = 0
         keepalives_sent = keepalives_received = 0
+    if sn.obs is not None:
+        lat = sn.obs.terminus_latency
+        punt = sn.obs.punt_latency
+        lat_p50 = lat.quantile(0.50)
+        lat_p99 = lat.quantile(0.99)
+        lat_p999 = lat.quantile(0.999)
+        punt_p50 = punt.quantile(0.50)
+        punt_p99 = punt.quantile(0.99)
+        punt_p999 = punt.quantile(0.999)
+    else:
+        lat_p50 = lat_p99 = lat_p999 = 0.0
+        punt_p50 = punt_p99 = punt_p999 = 0.0
     return SNSnapshot(
         name=sn.name,
         address=sn.address,
@@ -98,6 +127,14 @@ def snapshot_sn(sn: ServiceNode) -> SNSnapshot:
         keepalives_sent=keepalives_sent,
         keepalives_received=keepalives_received,
         crashed=sn.failed,
+        miss_parked=miss_stats.parked,
+        miss_dropped=miss_stats.dropped,
+        lat_p50=lat_p50,
+        lat_p99=lat_p99,
+        lat_p999=lat_p999,
+        punt_p50=punt_p50,
+        punt_p99=punt_p99,
+        punt_p999=punt_p999,
     )
 
 
@@ -174,6 +211,10 @@ class FederationReport:
                 "cache": s.cache_entries,
                 "hosts": s.associated_hosts,
                 "pipes!": s.pipes_suspect + s.pipes_dead,
+                "p50(µs)": round(s.lat_p50 * 1e6, 2),
+                "p99(µs)": round(s.lat_p99 * 1e6, 2),
+                "p999(µs)": round(s.lat_p999 * 1e6, 2),
+                "punt_p99(µs)": round(s.punt_p99 * 1e6, 2),
             }
             for s in self.snapshots
         ]
@@ -202,6 +243,34 @@ class FederationMonitor:
             self.net.sim.schedule(interval, tick)
 
         self.net.sim.schedule(interval, tick)
+
+    # -- observability export ---------------------------------------------
+    def obs_registry(self) -> Optional[MetricsRegistry]:
+        """The merged metrics of every obs-armed SN (None when none are).
+
+        Histograms merge bucket-exactly, so the federation-level
+        percentiles carry the same error bound as any single SN's.
+        """
+        registries = [
+            sn.obs.registry
+            for sn in self.net.all_sns()
+            if sn.obs is not None
+        ]
+        if not registries:
+            return None
+        return merged_registry(registries)
+
+    def obs_json(self) -> Optional[str]:
+        """JSON snapshot of the federation-wide merged obs metrics."""
+        merged = self.obs_registry()
+        return to_json(merged) if merged is not None else None
+
+    def obs_table(self) -> Optional[str]:
+        """Human-readable table of the federation-wide merged obs metrics."""
+        merged = self.obs_registry()
+        if merged is None:
+            return None
+        return to_table(merged, title="federation observability")
 
     def deltas(self) -> Optional[dict[str, int]]:
         """Packet/drop growth between the last two reports."""

@@ -92,6 +92,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
 from .. import sanitize as _san
+from ..obs.recorder import NULL_RECORDER
 from .decision_cache import Action, CacheKey, Decision, DecisionCache
 from .ilp import FLAGS_WIRE_OFFSET, Flags, ILPError, ILPHeader, TLV
 from .ipc import CostModel, InvocationChannel, InvocationMode
@@ -101,6 +102,8 @@ from .psp import PSPContext, PSPError, PeerKeyStore
 from .service_module import ServiceError, Verdict
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import NodeObs
+    from ..obs.recorder import FlightRecorder, NullRecorder, Span
     from .execution_env import ExecutionEnvironment
 
 #: Sentinel for "caller did not precompute qos_src" (None is a valid value).
@@ -305,6 +308,8 @@ class PipeTerminus:
         "miss_queue",
         "pending_delay",
         "peer_activity",
+        "obs",
+        "recorder",
     )
 
     def __init__(
@@ -345,15 +350,26 @@ class PipeTerminus:
         #: packet — same liveness information, amortized like the rest of
         #: the batch work.
         self.peer_activity: Optional[Callable[[str], None]] = None
+        #: Observability bundle (latency histograms); None when obs is off.
+        self.obs: Optional["NodeObs"] = None
+        #: Flight recorder for lifecycle spans — the shared no-op singleton
+        #: until :meth:`ServiceNode.enable_observability` installs a real
+        #: one, so uninstrumented runs pay one no-op call per stage.
+        self.recorder: "FlightRecorder | NullRecorder" = NULL_RECORDER
 
     # -- ingress ----------------------------------------------------------
     def receive(self, packet: ILPPacket) -> None:
         """Process one packet arriving from any pipe."""
         self.stats.packets_in += 1
         self.pending_delay = self.cost_model.terminus_latency
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.new_trace()
+        span = recorder.begin_span("terminus.receive", n=1)
         if self.peer_activity is not None:
             self.peer_activity(packet.l3.src)
         self._ingress_one(packet, self._clock())
+        recorder.end_span(span)
 
     def receive_batch(self, packets) -> int:
         """Process a burst of packets arriving back-to-back.
@@ -383,6 +399,11 @@ class PipeTerminus:
         stats = self.stats
         contexts = self.keystore.contexts
         n_in = len(packets)
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.new_trace()
+        rec = recorder.recording
+        burst_span = recorder.begin_span("terminus.receive", n=n_in)
 
         # Pass 1 — decrypt: one open_batch per consecutive same-peer span.
         peers: list[str] = []
@@ -406,6 +427,8 @@ class PipeTerminus:
                 opened = ctx.open_batch([p.ilp_wire for p in packets[i:j]])
                 stats.drops_auth += sum(1 for pt in opened if pt is None)
                 extend(opened)
+                if rec:
+                    recorder.event("terminus.decrypt", peer=peer, n=j - i)
             i = j
 
         # Pass 2 — burst sharding: merge flow runs (same peer, identical
@@ -452,6 +475,7 @@ class PipeTerminus:
             # Every packet parked during this burst must be gone: drained
             # through the fast path, replayed, or (on crash) dropped.
             self.miss_queue.check_drained()
+        recorder.end_span(burst_span)
         stats.packets_in += n_in
         return n_in
 
@@ -467,6 +491,8 @@ class PipeTerminus:
         except PSPError:
             self.stats.drops_auth += 1
             return
+        if self.recorder.recording:
+            self.recorder.event("terminus.decrypt", peer=peer, n=1)
         self._ingress_decoded(peer, plaintext, packet, now)
 
     def _ingress_decoded(
@@ -491,6 +517,8 @@ class PipeTerminus:
         )
         decision = self.cache.lookup(key, now=now)
         if decision is not None:
+            if self.recorder.recording:
+                self.recorder.event("terminus.cache_hit", peer=peer, n=1)
             self.apply_decision(decision, header, packet.payload)
             self.stats.fast_path += 1
             return
@@ -546,6 +574,8 @@ class PipeTerminus:
                 ingress_decoded(peer, plain, packet, now)
             return
         self.stats.fast_path += len(run)
+        if self.recorder.recording:
+            self.recorder.event("terminus.cache_hit", peer=peer, n=len(run))
         self._apply_decision_run(decision, header, run)
 
     def _apply_decision_run(
@@ -635,6 +665,7 @@ class PipeTerminus:
         shard.segments += 1
         shard.groups += len(groups)
         stats = self.stats
+        recorder = self.recorder
         decoded: list[
             tuple[str, bytes, ILPHeader, list[ILPPacket], CacheKey]
         ] = []
@@ -688,6 +719,8 @@ class PipeTerminus:
                 self._process_cold_span(span, now)
                 span = []
             stats.fast_path += len(run)
+            if recorder.recording:
+                recorder.event("terminus.cache_hit", peer=peer, n=len(run))
             if decision.action is Action.DROP:
                 stats.drops_by_decision += len(run)
                 continue
@@ -750,6 +783,9 @@ class PipeTerminus:
         queue = self.miss_queue
         offload = self.offload
         ingress_decoded = self._ingress_decoded
+        recorder = self.recorder
+        rec = recorder.recording
+        punt_spans: list["Span"] = []
 
         gather: dict[str, list[tuple[bytes, Optional[str], list[ILPPacket]]]]
         gather = {}
@@ -798,12 +834,27 @@ class PipeTerminus:
             # what they are handed; the row header must stay pristine for
             # the drain egress.
             leads.append((ILPHeader.decode(plain), run[0]))
+            if rec:
+                punt_spans.append(
+                    recorder.begin_span(
+                        "terminus.punt",
+                        service=header.service_id,
+                        connection=header.connection_id,
+                    )
+                )
             spill = queue.park((peer, plain), run[1:])
             if spill:
                 spills[(peer, plain)] = spill
+            if rec and len(run) > 1 + len(spill):
+                recorder.event(
+                    "miss.park", peer=peer, n=len(run) - 1 - len(spill)
+                )
 
         # Phase 2 — one batched boundary crossing for every lead.
         verdicts = self._punt_batch(leads) if leads else []
+        if rec:
+            for punt_span in punt_spans:
+                recorder.end_span(punt_span)
 
         # Phase 3 — apply verdicts and drain, in span order.
         def drain_or_replay(
@@ -822,6 +873,8 @@ class PipeTerminus:
                     ingress_decoded(peer, plain, packet, now)
                 return
             stats.fast_path += len(packets)
+            if rec:
+                recorder.event("terminus.cache_hit", peer=peer, n=len(packets))
             targets = decision.targets
             if (
                 decision.action is not Action.DROP
@@ -877,11 +930,15 @@ class PipeTerminus:
             if count:
                 decision = cache.lookup_run(key, count, now=now)
                 if decision is None:
+                    if rec:
+                        recorder.event("miss.replay", peer=peer, n=count)
                     flush_gather()
                     for packet in queue.drain(flow, fast=False):
                         ingress_decoded(peer, plain, packet, now)
                 else:
                     stats.fast_path += count
+                    if rec:
+                        recorder.event("miss.drain", peer=peer, n=count)
                     parked = queue.drain(flow, fast=True)
                     targets = decision.targets
                     if (
@@ -950,16 +1007,29 @@ class PipeTerminus:
             self.cost_model.invocation_latency(self.channel.mode, in_enclave)
             + self.cost_model.service_packet
         )
+        recorder = self.recorder
+        span = recorder.begin_span(
+            "terminus.punt",
+            service=header.service_id,
+            connection=header.connection_id,
+        )
+        obs = self.obs
         try:
             verdict: Verdict = self.channel.invoke(
                 self.env.dispatch, header, packet
             )
         except ServiceError:
             self.stats.drops_by_service += 1
+            recorder.end_span(span)
             if self.cost_model.bill_failed_invocations:
                 self.pending_delay += latency
+                if obs is not None:
+                    obs.punt_latency.record(latency)
             return
+        recorder.end_span(span)
         self.pending_delay += latency
+        if obs is not None:
+            obs.punt_latency.record(latency)
         self.apply_verdict(verdict)
 
     def _punt_batch(
@@ -1009,14 +1079,19 @@ class PipeTerminus:
                 )
                 + cost.service_packet
             )
+            obs = self.obs
             try:
                 results[i] = self.channel.invoke(env.dispatch, header, packet)
             except ServiceError:
                 stats.drops_by_service += 1
                 if cost.bill_failed_invocations:
                     self.pending_delay += latency
+                    if obs is not None:
+                        obs.punt_latency.record(latency)
                 return results
             self.pending_delay += latency
+            if obs is not None:
+                obs.punt_latency.record(latency)
             return results
         batch = [punts[i] for i in eligible]
         verdicts = self.channel.invoke_batch(env.dispatch_batch, batch)
@@ -1030,12 +1105,17 @@ class PipeTerminus:
         billed = len(eligible)
         if not cost.bill_failed_invocations:
             billed -= failed
-        self.pending_delay += (
-            cost.batch_invocation_latency(
-                self.channel.mode, len(enclave_services)
-            )
-            + cost.service_packet * billed
+        crossing = cost.batch_invocation_latency(
+            self.channel.mode, len(enclave_services)
         )
+        self.pending_delay += crossing + cost.service_packet * billed
+        obs = self.obs
+        if obs is not None and billed:
+            # Per-lead view of the amortized crossing: each billed punt
+            # carries its share of the batch round trip plus its own CPU.
+            obs.punt_latency.record_many(
+                crossing / billed + cost.service_packet, billed
+            )
         return results
 
     def apply_verdict(self, verdict: Verdict) -> None:
@@ -1074,6 +1154,9 @@ class PipeTerminus:
         if _san.ENABLED:
             _san_check_header_wire(header, wire_plain)
         wire = ctx.seal(wire_plain)
+        recorder = self.recorder
+        if recorder.recording:
+            recorder.event("terminus.seal", peer=peer, n=1)
         out = ILPPacket(
             l3=L3Header(src=self.node_address, dst=peer),
             ilp_wire=wire,
@@ -1086,6 +1169,11 @@ class PipeTerminus:
         sent = self._transmit(peer, out)
         if sent:
             self.stats.packets_out += 1
+            if recorder.recording:
+                recorder.event("terminus.send", peer=peer, n=1)
+            obs = self.obs
+            if obs is not None:
+                obs.terminus_latency.record(self.pending_delay)
         return sent
 
     def send_run(
@@ -1114,6 +1202,9 @@ class PipeTerminus:
             # One check per run: the run shares a single wire form.
             _san_check_header_wire(ILPHeader.decode(encoded), encoded)
         wires = ctx.seal_run(encoded, len(run))
+        recorder = self.recorder
+        if recorder.recording:
+            recorder.event("terminus.seal", peer=peer, n=len(run))
         l3 = L3Header(src=self.node_address, dst=peer)
         created = self._clock()
         transmit = self._transmit
@@ -1129,6 +1220,12 @@ class PipeTerminus:
             if transmit(peer, out):
                 sent += 1
         stats.packets_out += sent
+        if sent:
+            if recorder.recording:
+                recorder.event("terminus.send", peer=peer, n=sent)
+            obs = self.obs
+            if obs is not None:
+                obs.terminus_latency.record_many(self.pending_delay, sent)
         return sent
 
     def send_gather(
@@ -1162,6 +1259,9 @@ class PipeTerminus:
         wires = ctx.seal_gather(
             [(encoded, len(run)) for encoded, _qos, run in items]
         )
+        recorder = self.recorder
+        if recorder.recording:
+            recorder.event("terminus.seal", peer=peer, n=len(wires))
         l3 = L3Header(src=self.node_address, dst=peer)
         created = self._clock()
         transmit = self._transmit
@@ -1180,4 +1280,10 @@ class PipeTerminus:
                 if transmit(peer, out):
                     sent += 1
         stats.packets_out += sent
+        if sent:
+            if recorder.recording:
+                recorder.event("terminus.send", peer=peer, n=sent)
+            obs = self.obs
+            if obs is not None:
+                obs.terminus_latency.record_many(self.pending_delay, sent)
         return sent

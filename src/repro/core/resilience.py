@@ -42,9 +42,11 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from .. import sanitize as _san
 from ..netsim.engine import PeriodicTask
+from ..obs.recorder import NULL_RECORDER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from ..control.core_store import CoreStore
+    from ..obs.recorder import FlightRecorder, NullRecorder
     from .federation import InterEdge
     from .service_node import ServiceNode
 
@@ -359,9 +361,25 @@ class FailoverCoordinator:
         #: Audit log of resilience actions: dicts with at/kind/... keys.
         self.log: list[dict[str, Any]] = []
         self._failed_over: set[str] = set()
+        #: Flight recorder for failover spans; the shared no-op by default.
+        #: Each death report opens its own trace (control events are not
+        #: part of any packet's ingress trace).
+        self.recorder: "FlightRecorder | NullRecorder" = NULL_RECORDER
 
     # -- health-monitor callbacks -----------------------------------------
     def peer_dead(self, reporter: "ServiceNode", address: str) -> None:
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.new_trace()
+        span = recorder.begin_span(
+            "resilience.peer_dead", reporter=reporter.address, peer=address
+        )
+        try:
+            self._peer_dead(reporter, address)
+        finally:
+            recorder.end_span(span)
+
+    def _peer_dead(self, reporter: "ServiceNode", address: str) -> None:
         evicted = reporter.cache.invalidate_by_target(address)
         self.log.append(
             {
@@ -412,6 +430,19 @@ class FailoverCoordinator:
 
     def failover_border(self, edomain: Any, dead: str, alternate: str) -> None:
         """Promote ``alternate`` to border SN of ``edomain``; publish it."""
+        recorder = self.recorder
+        span = recorder.begin_span(
+            "resilience.failover",
+            edomain=edomain.name,
+            dead=dead,
+            alternate=alternate,
+        )
+        try:
+            self._failover_border(edomain, dead, alternate)
+        finally:
+            recorder.end_span(span)
+
+    def _failover_border(self, edomain: Any, dead: str, alternate: str) -> None:
         alternate_sn = edomain.sns[alternate]
         remote_domains = [
             dom for dom in self.net.edomains.values() if dom is not edomain

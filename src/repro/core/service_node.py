@@ -25,6 +25,8 @@ from typing import Any, Optional, Protocol
 from ..netsim.engine import Simulator
 from ..netsim.link import Link
 from ..netsim.node import NetNode
+from ..obs import FlightRecorder, MetricsRegistry, NodeObs
+from ..obs import enabled_from_env as _obs_enabled_from_env
 from .attestation import SoftwareTPM
 from .decision_cache import CacheKey, Decision, DecisionCache
 from .execution_env import ExecutionEnvironment
@@ -104,6 +106,11 @@ class ServiceNode(NetNode):
         #: host address -> egress shaper; installed by the last-hop QoS
         #: service, consulted for every packet leaving toward that host.
         self._egress_shapers: dict[str, Any] = {}
+        #: observability bundle (flight recorder + metrics registry);
+        #: created by :meth:`enable_observability`, None when obs is off.
+        self.obs: Optional[NodeObs] = None
+        if _obs_enabled_from_env():
+            self.enable_observability()
 
     # -- wiring -----------------------------------------------------------
     def register_peer_node(self, address: str, node: NetNode) -> None:
@@ -202,6 +209,34 @@ class ServiceNode(NetNode):
 
     def configure_pass_through(self, next_hop: str, chain: list[Any]) -> None:
         self.pass_through = PassThroughConfig(next_hop=next_hop, chain=chain)
+
+    # -- observability -----------------------------------------------------
+    def enable_observability(
+        self, sample_every: int = 1, capacity: int = 4096
+    ) -> NodeObs:
+        """Arm the flight recorder and metrics registry on this SN.
+
+        Threads one sim-clocked :class:`~repro.obs.FlightRecorder` through
+        the terminus, the invocation channel, the execution environment,
+        and every loaded enclave (modules loaded later inherit it), and
+        attaches the latency histograms the terminus egress records into.
+        Idempotent; also armed at construction when ``REPRO_OBS`` is set
+        in the environment. ``sample_every=N`` records every Nth ingress
+        trace (0 keeps the recorder attached but samples nothing); the
+        histograms always see every packet.
+        """
+        if self.obs is None:
+            recorder = FlightRecorder(
+                clock=lambda: self.sim.now,
+                capacity=capacity,
+                sample_every=sample_every,
+            )
+            self.obs = NodeObs(recorder, MetricsRegistry())
+            self.terminus.obs = self.obs
+            self.terminus.recorder = recorder
+            self.terminus.channel.recorder = recorder
+            self.env.set_recorder(recorder)
+        return self.obs
 
     # -- resilience ---------------------------------------------------------
     def enable_health_monitor(

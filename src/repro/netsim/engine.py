@@ -91,6 +91,7 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._cancelled = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -100,6 +101,12 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    @property
+    def compactions(self) -> int:
+        """Heap compaction passes performed (an observability counter:
+        high values mean heavy cancellation churn from timers)."""
+        return self._compactions
 
     @property
     def pending(self) -> int:
@@ -183,6 +190,7 @@ class Simulator:
         self._heap = [e for e in self._heap if e[_CALLBACK] is not None]
         heapq.heapify(self._heap)
         self._cancelled = 0
+        self._compactions += 1
 
     # -- run loop ---------------------------------------------------------
     def run(

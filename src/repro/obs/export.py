@@ -1,0 +1,127 @@
+"""Exporters: registry + recorder state as JSON or a human-readable table.
+
+Two shapes for two audiences:
+
+* :func:`to_json` — a machine-readable snapshot (nested metrics dict,
+  recorder counters, optionally the raw spans) for dashboards and the
+  EXPERIMENTS harness. Deterministic key order (sorted) so snapshots
+  diff cleanly across runs.
+* :func:`to_table` — a fixed-width text table for terminal eyes: one
+  row per metric, histograms expanded to count/mean/p50/p99/p999.
+
+Both take the :class:`~repro.obs.NodeObs` bundle or bare
+registry/recorder pieces; federation-level roll-ups go through
+:func:`merged_registry` first (histograms merge bucket-exactly, so the
+roll-up's percentiles carry the same error bound as any single SN's).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import FlightRecorder
+
+
+def merged_registry(parts: Iterable[MetricsRegistry]) -> MetricsRegistry:
+    """Fold many registries into a fresh one (none of ``parts`` mutated)."""
+    out = MetricsRegistry()
+    for part in parts:
+        out.merge(part)
+    return out
+
+
+def snapshot_dict(
+    registry: Optional[MetricsRegistry] = None,
+    recorder: Optional[FlightRecorder] = None,
+    include_spans: bool = False,
+) -> dict[str, Any]:
+    """The canonical export shape both serializers build from."""
+    out: dict[str, Any] = {}
+    if registry is not None:
+        out["metrics"] = registry.snapshot()
+    if recorder is not None:
+        out["recorder"] = {
+            "capacity": recorder.capacity,
+            "sample_every": recorder.sample_every,
+            "traces_started": recorder.traces_started,
+            "traces_sampled": recorder.traces_sampled,
+            "spans_recorded": len(recorder),
+            "spans_dropped": recorder.spans_dropped,
+        }
+        if include_spans:
+            out["spans"] = [
+                {
+                    "name": span.name,
+                    "trace": span.trace,
+                    "start": span.start,
+                    "end": span.end,
+                    "attrs": dict(span.attrs),
+                }
+                for span in recorder.iter_spans()
+            ]
+    return out
+
+
+def to_json(
+    registry: Optional[MetricsRegistry] = None,
+    recorder: Optional[FlightRecorder] = None,
+    include_spans: bool = False,
+    indent: Optional[int] = 2,
+) -> str:
+    """A JSON snapshot with deterministic (sorted) key order."""
+    return json.dumps(
+        snapshot_dict(registry, recorder, include_spans=include_spans),
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def _format_value(value: float) -> str:
+    """Compact fixed-width rendering: latencies in µs-range stay readable."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def to_table(
+    registry: MetricsRegistry,
+    recorder: Optional[FlightRecorder] = None,
+    title: str = "metrics",
+) -> str:
+    """A fixed-width text table: one row per metric, sorted by name."""
+    rows: list[tuple[str, str, str]] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        if isinstance(metric, Counter):
+            rows.append((name, "counter", _format_value(metric.value)))
+        elif isinstance(metric, Gauge):
+            rows.append((name, "gauge", _format_value(metric.value)))
+        elif isinstance(metric, Histogram):
+            if metric.count == 0:
+                rows.append((name, "histogram", "count=0"))
+            else:
+                detail = (
+                    f"count={metric.count} mean={_format_value(metric.mean)} "
+                    f"p50={_format_value(metric.quantile(0.50))} "
+                    f"p99={_format_value(metric.quantile(0.99))} "
+                    f"p999={_format_value(metric.quantile(0.999))}"
+                )
+                rows.append((name, "histogram", detail))
+    if recorder is not None:
+        rows.append(
+            (
+                "recorder",
+                "ring",
+                f"traces={recorder.traces_started} "
+                f"sampled={recorder.traces_sampled} "
+                f"spans={len(recorder)} dropped={recorder.spans_dropped}",
+            )
+        )
+    name_w = max([len(r[0]) for r in rows], default=4)
+    kind_w = max([len(r[1]) for r in rows], default=4)
+    lines = [title, "-" * len(title)]
+    for name, kind, detail in rows:
+        lines.append(f"{name:<{name_w}}  {kind:<{kind_w}}  {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,316 @@
+"""The flight recorder: a bounded ring of per-packet lifecycle spans.
+
+A :class:`Span` is one named stage of a packet's (or a batch's) life —
+``terminus.receive``, ``terminus.decrypt``, ``ipc.invoke``, ... — with
+sim-time start/end stamps and a small attribute map (peer, service,
+connection, counts). Spans belong to a **trace**: one ingress event
+(a burst through :meth:`PipeTerminus.receive_batch`, or one scalar
+:meth:`receive`) opens a fresh trace, and every stage the event's packets
+pass through — shard groups, cold spans, the miss-queue lifecycle, the
+IPC boundary, enclave crossings — records into it. Span order in the
+ring is begin order, so a trace reads as the lifecycle grammar the
+conformance suite checks::
+
+    receive -> decrypt -> (cache_hit | punt [-> park -> (drain | replay)])
+            -> seal -> send
+
+Design constraints, in priority order:
+
+* **Free when off.** The shared :data:`NULL_RECORDER` singleton is what
+  every component holds by default; its methods are no-ops and its
+  ``enabled``/``recording`` flags are ``False``, so uninstrumented runs
+  pay one attribute check per *stage*, never per packet. The
+  benchmark gate in ``benchmarks/test_terminus_pipeline.py`` holds this
+  to <= 3% of fast-path throughput.
+* **Sampling-aware when on.** ``sample_every=N`` records every Nth
+  trace; ``recording`` is False for unsampled traces so call sites skip
+  attribute-dict construction entirely. ``sample_every=0`` keeps the
+  recorder attached but samples nothing (the overhead benchmark's
+  "enabled but quiet" arm).
+* **Bounded.** The ring keeps the last ``capacity`` spans; a soak run
+  cannot grow memory without bound.
+* **Passive.** Recording never mutates packets, stats, caches, or RNG
+  state: wire output and :class:`TerminusStats` are byte-identical with
+  the recorder on or off (property-tested).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterator, Optional
+
+
+class Span:
+    """One recorded stage: name, trace id, sim-time start/end, attributes.
+
+    Also a context manager (``with recorder.span(...)``); explicit
+    :meth:`FlightRecorder.begin_span` call sites must pair with
+    :meth:`FlightRecorder.end_span` on every path (rule OBS001).
+    """
+
+    __slots__ = ("name", "trace", "seq", "start", "end", "attrs", "_clock")
+
+    def __init__(
+        self,
+        name: str,
+        trace: int,
+        seq: int,
+        start: float,
+        clock: Callable[[], float],
+        attrs: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.trace = trace
+        self.seq = seq
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+        self._clock = clock
+
+    @property
+    def done(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def close(self) -> None:
+        if self.end is None:
+            self.end = self._clock()
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Span({self.name!r}, trace={self.trace}, start={self.start}, "
+            f"end={self.end}, attrs={self.attrs})"
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out when recording is off."""
+
+    __slots__ = ()
+
+    name = ""
+    trace = -1
+    seq = -1
+    start = 0.0
+    end: Optional[float] = 0.0
+    attrs: dict[str, Any] = {}
+    done = True
+    duration = 0.0
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+#: The span every no-op begin returns; identity-checked by end_span.
+NULL_SPAN = _NullSpan()
+
+
+class FlightRecorder:
+    """A bounded ring buffer of spans with a propagating trace context."""
+
+    __slots__ = (
+        "capacity",
+        "sample_every",
+        "_clock",
+        "_ring",
+        "_seq",
+        "_trace",
+        "_sampled",
+        "traces_started",
+        "traces_sampled",
+        "spans_dropped",
+    )
+
+    #: Real recorders record; the NULL recorder overrides this to False.
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        capacity: int = 4096,
+        sample_every: int = 1,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if sample_every < 0:
+            raise ValueError("sample_every must be >= 0 (0 = sample nothing)")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._ring: deque[Span] = deque(maxlen=capacity)
+        self._seq = 0
+        self._trace = 0
+        self._sampled = False
+        self.traces_started = 0
+        self.traces_sampled = 0
+        self.spans_dropped = 0
+
+    # -- trace context ----------------------------------------------------
+    def new_trace(self) -> int:
+        """Open a fresh trace (one ingress event); returns its id.
+
+        Applies the sampling decision: with ``sample_every=N`` every Nth
+        trace records, the rest are no-ops end to end (``recording`` is
+        False and every begin returns :data:`NULL_SPAN`).
+        """
+        self._trace += 1
+        self.traces_started += 1
+        if self.sample_every > 0:
+            self._sampled = (self._trace - 1) % self.sample_every == 0
+        else:
+            self._sampled = False
+        if self._sampled:
+            self.traces_sampled += 1
+        return self._trace
+
+    @property
+    def recording(self) -> bool:
+        """True when the *current* trace is being recorded."""
+        return self._sampled
+
+    @property
+    def current_trace(self) -> int:
+        return self._trace
+
+    # -- span lifecycle ---------------------------------------------------
+    def begin_span(self, name: str, **attrs: Any) -> Any:
+        """Open a span in the current trace; pair with :meth:`end_span`."""
+        if not self._sampled:
+            return NULL_SPAN
+        if len(self._ring) == self.capacity:
+            self.spans_dropped += 1
+        span = Span(name, self._trace, self._seq, self._clock(), self._clock, attrs)
+        self._seq += 1
+        self._ring.append(span)
+        return span
+
+    def end_span(self, span: Any) -> None:
+        """Close a span returned by :meth:`begin_span` (NULL-safe)."""
+        span.close()
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        """Context-managed :meth:`begin_span` (closes on exit)."""
+        return self.begin_span(name, **attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """A zero-duration span (begin and end at the same stamp)."""
+        if not self._sampled:
+            return
+        span = self.begin_span(name, **attrs)
+        span.close()
+
+    # -- queries ----------------------------------------------------------
+    def spans(
+        self,
+        name: Optional[str] = None,
+        trace: Optional[int] = None,
+        **attr_filter: Any,
+    ) -> list[Span]:
+        """Spans in begin order, optionally filtered by name/trace/attrs."""
+        out = []
+        for span in self._ring:
+            if name is not None and span.name != name:
+                continue
+            if trace is not None and span.trace != trace:
+                continue
+            if attr_filter and any(
+                span.attrs.get(key) != value for key, value in attr_filter.items()
+            ):
+                continue
+            out.append(span)
+        return out
+
+    def sequence(
+        self, trace: Optional[int] = None, **attr_filter: Any
+    ) -> list[str]:
+        """Just the span names, in begin order (the grammar's terminals)."""
+        return [s.name for s in self.spans(trace=trace, **attr_filter)]
+
+    def traces(self) -> list[int]:
+        """Distinct trace ids present in the ring, in first-seen order."""
+        seen: dict[int, None] = {}
+        for span in self._ring:
+            seen.setdefault(span.trace, None)
+        return list(seen)
+
+    def iter_spans(self) -> Iterator[Span]:
+        return iter(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+
+class NullRecorder:
+    """The shared no-op recorder every component holds when obs is off.
+
+    Implements the full :class:`FlightRecorder` surface as no-ops so
+    instrumented code never branches on recorder *type*, only on the
+    ``enabled``/``recording`` flags (or not at all — calling straight
+    through costs one no-op method call).
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    recording = False
+    current_trace = -1
+    sample_every = 0
+    capacity = 0
+    traces_started = 0
+    traces_sampled = 0
+    spans_dropped = 0
+
+    def new_trace(self) -> int:
+        return -1
+
+    def begin_span(self, name: str, **attrs: Any) -> Any:
+        return NULL_SPAN
+
+    def end_span(self, span: Any) -> None:
+        return None
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        return NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def spans(self, *args: Any, **kwargs: Any) -> list[Span]:
+        return []
+
+    def sequence(self, *args: Any, **kwargs: Any) -> list[str]:
+        return []
+
+    def traces(self) -> list[int]:
+        return []
+
+    def iter_spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        return None
+
+
+#: The singleton every instrumented component defaults to.
+NULL_RECORDER = NullRecorder()

@@ -1,0 +1,139 @@
+"""Properties of the mergeable log-bucketed histogram (repro.obs).
+
+The sketch's whole value rests on three guarantees:
+
+* **Merge is exact and order-free.** Bucket counts are ints, so merging
+  is associative and commutative — per-SN sketches roll up to edomain
+  and federation level in any grouping without changing a single count.
+* **Counts are conserved.** Any merge tree over disjoint sketches holds
+  exactly the union's observations: total count, zero count, per-bucket
+  counts, min, max.
+* **Quantiles are relatively bounded.** Any quantile read back is within
+  ``relative_error`` (relative) of a true empirical quantile of the
+  recorded multiset.
+
+``total`` is a float sum and float addition is not associative, so the
+order-freedom properties compare it approximately while everything
+integral must match exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import Histogram
+
+_value = st.one_of(
+    st.floats(
+        min_value=1e-9,
+        max_value=1e9,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    st.sampled_from([0.0, -1.0, 1e-6, 3.3e-5, 0.25]),
+)
+
+_values = st.lists(_value, min_size=0, max_size=60)
+_value_parts = st.lists(_values, min_size=1, max_size=6)
+
+
+def _sketch(values: list[float], relative_error: float = 0.01) -> Histogram:
+    h = Histogram(relative_error)
+    for v in values:
+        h.record(v)
+    return h
+
+
+def _integral_state(h: Histogram) -> tuple:
+    return (h.count, h.zeros, h.min, h.max, h.bucket_counts())
+
+
+@settings(max_examples=100, deadline=None)
+@given(_values, _values)
+def test_merge_commutes(a_values, b_values):
+    a_first = Histogram.merged([_sketch(a_values), _sketch(b_values)])
+    b_first = Histogram.merged([_sketch(b_values), _sketch(a_values)])
+    assert _integral_state(a_first) == _integral_state(b_first)
+    assert math.isclose(
+        a_first.total, b_first.total, rel_tol=1e-9, abs_tol=1e-12
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(_value_parts, st.integers(min_value=0, max_value=2**32 - 1))
+def test_merge_tree_shape_is_irrelevant(parts, seed):
+    """Any randomized merge tree equals the flat left fold, bucket-exactly.
+
+    Builds a random binary merge tree over the parts (seeded, so the
+    example replays): repeatedly pick two sketches, merge one into the
+    other, put the result back. Whatever order and nesting, the result's
+    integral state must equal merging the parts one by one in order —
+    associativity and commutativity in one property.
+    """
+    flat = Histogram.merged([_sketch(values) for values in parts])
+    rng = random.Random(seed)
+    pool = [_sketch(values) for values in parts]
+    while len(pool) > 1:
+        i = rng.randrange(len(pool))
+        right = pool.pop(i)
+        j = rng.randrange(len(pool))
+        pool[j].merge(right)
+    assert _integral_state(pool[0]) == _integral_state(flat)
+    assert math.isclose(pool[0].total, flat.total, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_value_parts)
+def test_merge_conserves_counts(parts):
+    union = [v for values in parts for v in values]
+    merged = Histogram.merged([_sketch(values) for values in parts])
+    assert _integral_state(merged) == _integral_state(_sketch(union))
+    assert merged.count == len(union)
+    assert merged.zeros == sum(1 for v in union if v <= 0.0)
+    assert merged.zeros + sum(merged.bucket_counts().values()) == merged.count
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    _values,
+    st.floats(min_value=0.0, max_value=1.0),
+    st.sampled_from([0.01, 0.05]),
+)
+def test_quantile_within_relative_error(values, q, relative_error):
+    """quantile(q) lands within relative_error of the true rank statistic.
+
+    The sketch maps a value to the bucket whose representative is within
+    ``relative_error`` (relative) of it, so the answer must be that close
+    to the exact empirical quantile at the same rank convention
+    (``rank = max(1, ceil(q * n))``). Nonpositive values are exact.
+    """
+    h = _sketch(values, relative_error)
+    got = h.quantile(q)
+    if not values:
+        assert got == 0.0
+        return
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    expect = ordered[rank - 1]
+    if expect <= 0.0:
+        assert got == 0.0
+    else:
+        # The 1e-9 slack absorbs float rounding at bucket boundaries
+        # (a value an ulp from an edge may land one bucket over).
+        assert abs(got - expect) <= relative_error * expect * (1.0 + 1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_values)
+def test_record_many_equals_repeated_record(values):
+    repeated = Histogram()
+    grouped = Histogram()
+    for v in values:
+        repeated.record(v)
+        repeated.record(v)
+        repeated.record(v)
+        grouped.record_many(v, 3)
+    assert _integral_state(repeated) == _integral_state(grouped)

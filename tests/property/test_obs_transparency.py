@@ -1,0 +1,124 @@
+"""Property: observability is purely observational.
+
+Arming the flight recorder and metrics registry on an SN must not change
+one observable bit of datapath behavior: the transmitted packets (wire
+bytes included — so PSP nonce sequencing is untouched), TerminusStats,
+decision-cache contents and LRU order, per-peer PSP stats, and offload
+counters are all byte-identical with obs on or off. This pins down the
+"free when off / passive when on" contract the overhead benchmark and
+the instrumentation's guard style depend on.
+
+Reuses the batch-equivalence rig and packet strategies: the same
+generated sequences (cache hits, cold storms, barrier punts, bad auth,
+malformed headers, fan-out installs) drive a plain rig and an armed one,
+through both the scalar and the batched ingress paths, at several
+sampling rates (every trace, every 3rd, armed-but-quiet).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from tests.property.test_terminus_batch_equivalence import (
+    _Rig,
+    _flow_sort,
+    _spec_list,
+    _storm_spec_list,
+    apply_wire_faults,
+)
+
+
+class _ArmedRig(_Rig):
+    """The same rig with observability armed at a given sampling rate."""
+
+    sample_every = 1
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.obs = self.node.enable_observability(
+            sample_every=self.sample_every, capacity=1024
+        )
+
+
+class _SampledRig(_ArmedRig):
+    sample_every = 3
+
+
+class _QuietRig(_ArmedRig):
+    """Recorder attached but sampling nothing (the benchmark's quiet arm)."""
+
+    sample_every = 0
+
+
+_RIGS = {"every": _ArmedRig, "third": _SampledRig, "quiet": _QuietRig}
+
+
+def _drive_pair(specs, armed_factory, batched: bool):
+    plain, armed = _Rig(), armed_factory()
+    plain_packets = [plain.build_packet(s) for s in specs]
+    armed_packets = [armed.build_packet(s) for s in specs]
+    if batched:
+        plain.terminus.receive_batch(plain_packets)
+        armed.terminus.receive_batch(armed_packets)
+    else:
+        for packet in plain_packets:
+            plain.terminus.receive(packet)
+        for packet in armed_packets:
+            armed.terminus.receive(packet)
+    return plain, armed
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    _spec_list,
+    st.sampled_from(sorted(_RIGS)),
+    st.booleans(),
+)
+def test_armed_rig_is_byte_identical_to_plain(specs, rig_key, batched):
+    specs = _flow_sort(specs)
+    plain, armed = _drive_pair(specs, _RIGS[rig_key], batched)
+    assert armed.observable_state() == plain.observable_state()
+    # The recorder really ran: every ingress event opened a trace
+    # (a burst is one ingress event, even an empty one).
+    expected_traces = len(specs) if not batched else 1
+    assert armed.obs.recorder.traces_started == expected_traces
+
+
+@settings(max_examples=40, deadline=None)
+@given(_storm_spec_list, st.sampled_from(sorted(_RIGS)))
+def test_cold_storm_is_byte_identical_with_obs_on(specs, rig_key):
+    """The coalesced miss path (punt spans, park/drain/replay events,
+    batched invocations) records without perturbing any observable."""
+    plain, armed = _drive_pair(specs, _RIGS[rig_key], batched=True)
+    assert armed.observable_state() == plain.observable_state()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    _spec_list,
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_transparency_under_wire_faults(specs, seed):
+    """Drops, duplicates, and corrupted auth tags change nothing either:
+    the error paths (mid-group bailout, unknown peer, malformed header)
+    are exactly as untouched by recording as the happy path."""
+    specs = apply_wire_faults(_flow_sort(specs), seed)
+    plain, armed = _drive_pair(specs, _ArmedRig, batched=True)
+    assert armed.observable_state() == plain.observable_state()
+
+
+@settings(max_examples=30, deadline=None)
+@given(_storm_spec_list)
+def test_terminus_stats_identical_with_tiny_recorder_ring(specs):
+    """A saturated ring (capacity 1, every span dropped but the last)
+    still cannot leak into datapath state."""
+
+    class _TinyRing(_Rig):
+        def __init__(self) -> None:
+            super().__init__()
+            self.obs = self.node.enable_observability(
+                sample_every=1, capacity=1
+            )
+
+    plain, armed = _drive_pair(specs, _TinyRing, batched=True)
+    assert armed.observable_state() == plain.observable_state()

@@ -7,14 +7,21 @@ acceptance gate: the live tree is clean.
 
 from __future__ import annotations
 
+import json
+import runpy
+import sys
 import textwrap
+import warnings
 from pathlib import Path
+
+import pytest
 
 from repro.analysis import analyze_file, analyze_paths
 from repro.analysis.__main__ import main as analysis_main
 from repro.analysis.rules import (
     rule_det001,
     rule_det002,
+    rule_obs001,
     rule_res001,
     rule_wire001,
 )
@@ -146,6 +153,72 @@ class TestDET001:
         assert _codes(analyze_file(flagged, rules=[rule_det001])) == ["DET001"]
         assert analyze_file(waived, rules=[rule_det001]) == []
 
+    def test_from_import_entropy_variants_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            from os import urandom
+            from random import Random, SystemRandom
+            from secrets import token_bytes
+            from time import monotonic
+            from uuid import uuid4
+
+            def entropy_soup():
+                return (
+                    Random(),
+                    SystemRandom(),
+                    monotonic(),
+                    urandom(8),
+                    token_bytes(4),
+                    uuid4(),
+                )
+            """,
+        )
+        findings = analyze_file(path, rules=[rule_det001])
+        assert _codes(findings) == ["DET001"] * 6
+        messages = " ".join(f.message for f in findings)
+        for needle in ("without a seed", "OS entropy", "wall-clock", "uuid4"):
+            assert needle in messages
+
+    def test_attribute_entropy_variants_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            import datetime
+            import numpy
+            import random
+            import secrets
+            import uuid
+
+            def entropy_soup(items):
+                rng = numpy.random.default_rng(7)  # seeded: fine
+                return (
+                    rng,
+                    random.SystemRandom(),
+                    secrets.token_hex(),
+                    uuid.uuid1(),
+                    datetime.now(),
+                    datetime.datetime.now(),
+                    numpy.random.default_rng(),
+                    numpy.random.shuffle(items),
+                )
+            """,
+        )
+        findings = analyze_file(path, rules=[rule_det001])
+        assert _codes(findings) == ["DET001"] * 7
+        messages = " ".join(f.message for f in findings)
+        for needle in (
+            "SystemRandom",
+            "secrets.token_hex",
+            "uuid.uuid1",
+            "wall clock",
+            "default_rng() without a seed",
+            "global RNG",
+        ):
+            assert needle in messages
+
     def test_test_files_exempt(self, tmp_path):
         path = _write(
             tmp_path,
@@ -216,6 +289,49 @@ class TestDET002:
             """
             def state(obj):
                 return obj.__dict__
+            """,
+        )
+        assert analyze_file(path, rules=[rule_det002]) == []
+
+    def test_super_access_exempt(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            class Base:
+                def __init__(self):
+                    self._cache = {}
+
+            class Child(Base):
+                def peek(self):
+                    return super()._cache
+            """,
+        )
+        assert analyze_file(path, rules=[rule_det002]) == []
+
+    def test_string_slots_declare_ownership(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            class Probe:
+                __slots__ = "_lone"
+
+            def read(probe):
+                return probe._lone
+            """,
+        )
+        assert analyze_file(path, rules=[rule_det002]) == []
+
+    def test_module_level_private_annassign_owned(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            _quota: int = 8
+
+            def probe(other):
+                return other._quota
             """,
         )
         assert analyze_file(path, rules=[rule_det002]) == []
@@ -312,6 +428,39 @@ class TestWIRE001:
         findings = analyze_file(path, rules=[rule_wire001])
         assert _codes(findings) == ["WIRE001"]
         assert "no decode()" in findings[0].message
+
+    def test_decode_without_encode_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/ilp.py",
+            """
+            class HeaderView:
+                @classmethod
+                def decode(cls, wire):
+                    return cls()
+            """,
+        )
+        findings = analyze_file(path, rules=[rule_wire001])
+        assert _codes(findings) == ["WIRE001"]
+        assert "no encode()" in findings[0].message
+
+    def test_subscripted_base_with_annotated_state_needs_slots(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/core/psp.py",
+            """
+            from typing import Generic, TypeVar
+
+            T = TypeVar("T")
+
+            class WindowBuf(Generic[T]):
+                def __init__(self) -> None:
+                    self.high_water: int = 0
+            """,
+        )
+        findings = analyze_file(path, rules=[rule_wire001])
+        assert _codes(findings) == ["WIRE001"]
+        assert "__slots__" in findings[0].message
 
     def test_non_wire_module_exempt(self, tmp_path):
         path = _write(
@@ -420,6 +569,96 @@ class TestRES001:
         assert analyze_file(path, rules=[rule_res001]) == []
 
 
+class TestOBS001:
+    def test_begin_without_end_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            class Stage:
+                def __init__(self, recorder):
+                    self.recorder = recorder
+
+                def process(self, pkt):
+                    span = self.recorder.begin_span("stage.process")
+                    return pkt
+            """,
+        )
+        findings = analyze_file(path, rules=[rule_obs001])
+        assert _codes(findings) == ["OBS001"]
+        assert "end_span" in findings[0].message
+
+    def test_paired_begin_end_clean(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            class Stage:
+                def __init__(self, recorder):
+                    self.recorder = recorder
+
+                def process(self, pkt):
+                    span = self.recorder.begin_span("stage.process")
+                    try:
+                        return pkt
+                    finally:
+                        self.recorder.end_span(span)
+            """,
+        )
+        assert analyze_file(path, rules=[rule_obs001]) == []
+
+    def test_provider_class_exempt(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            class Recorder:
+                def begin_span(self, name):
+                    return object()
+
+                def event(self, name):
+                    # Calls its *own* span API; still not a consumer.
+                    span = self.begin_span(name)
+                    span.close()
+            """,
+        )
+        assert analyze_file(path, rules=[rule_obs001]) == []
+
+    def test_waiver_suppresses(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            class Leaky:
+                def process(self, recorder):
+                    # repro: allow(OBS001) span handed to caller to close
+                    return recorder.begin_span("stage.process")
+            """,
+        )
+        assert analyze_file(path, rules=[rule_obs001]) == []
+
+    def test_module_level_calls_not_flagged(self, tmp_path):
+        # The ownership model is per-class, exactly like RES001: free
+        # functions pass spans to their caller by convention.
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def open_span(recorder):
+                return recorder.begin_span("free")
+            """,
+        )
+        assert analyze_file(path, rules=[rule_obs001]) == []
+
+
+class TestEngineEdges:
+    def test_syntax_error_reported_as_parse_finding(self, tmp_path):
+        path = _write(tmp_path, "broken.py", "def oops(:\n")
+        findings = analyze_paths([path])
+        assert _codes(findings) == ["PARSE"]
+        assert "syntax error" in findings[0].message
+
+
 class TestCLI:
     def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
         _write(tmp_path, "pkg/clean.py", "X = 1\n")
@@ -457,10 +696,47 @@ class TestCLI:
     def test_unknown_rule_is_usage_error(self, tmp_path):
         assert analysis_main([str(tmp_path), "--rules", "NOPE999"]) == 2
 
+    def test_json_output(self, tmp_path, capsys):
+        path = _write(
+            tmp_path,
+            "pkg/dirty.py",
+            """
+            import random
+
+            X = random.random()
+            """,
+        )
+        assert analysis_main(["--json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["code"] == "DET001"
+        assert payload[0]["line"] == 4
+        assert payload[0]["path"].endswith("dirty.py")
+
+    def test_default_paths_require_repo_root(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert analysis_main([]) == 2
+        assert "no paths" in capsys.readouterr().err
+
+    def test_default_paths_scan_src_and_tests(self, tmp_path, monkeypatch):
+        _write(tmp_path, "src/clean.py", "X = 1\n")
+        _write(tmp_path, "tests/also_clean.py", "Y = 2\n")
+        monkeypatch.chdir(tmp_path)
+        assert analysis_main([]) == 0
+
+    def test_module_entrypoint(self, monkeypatch, capsys):
+        monkeypatch.setattr(sys, "argv", ["repro.analysis", "--list-rules"])
+        with warnings.catch_warnings():
+            # runpy warns when re-executing an already-imported __main__.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(SystemExit) as exc:
+                runpy.run_module("repro.analysis", run_name="__main__")
+        assert exc.value.code == 0
+        assert "DET001" in capsys.readouterr().out
+
     def test_list_rules(self, capsys):
         assert analysis_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("DET001", "DET002", "WIRE001", "RES001"):
+        for code in ("DET001", "DET002", "WIRE001", "RES001", "OBS001"):
             assert code in out
 
 

@@ -1,0 +1,298 @@
+"""Trace conformance: recorded spans follow the packet-lifecycle grammar.
+
+Every trace the flight recorder captures on a metro-topology run must
+read as the datapath's lifecycle grammar::
+
+    receive -> decrypt -> (cache_hit | punt [-> park -> (drain | replay)])
+            -> seal -> send
+
+with the slow path nesting ``ipc.invoke -> env.dispatch ->
+enclave.cross`` under a punt, and resilience traces reading
+``peer_dead [-> failover]``. The checker below enforces the ordering
+obligations (never an exact sequence — bursts interleave flows), the
+span-closure obligation (OBS001's dynamic counterpart: every span in the
+ring is closed), and the miss-queue ledger per trace (every parked
+packet drained or replayed within its burst).
+
+Three run shapes are driven end to end: steady metro traffic (fast path
++ first-packet punts), a cold storm (bursts of all-miss flows exercising
+park/drain/replay), and a border-SN crash (failover spans). A final test
+runs the ``REPRO_OBS=1`` environment path and the snapshot plumbing —
+the issue's acceptance criterion.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro import WellKnownService
+from repro.core.monitoring import FederationMonitor
+from repro.obs import FlightRecorder, Span
+from repro.scenarios import metro_federation
+
+#: Span names that may open a trace.
+_TRACE_HEADS = {"terminus.receive", "resilience.peer_dead"}
+
+#: name -> names that must already have occurred in the same trace.
+_NEEDS = {
+    "miss.park": {"terminus.punt"},
+    "miss.drain": {"miss.park"},
+    "miss.replay": {"miss.park"},
+    "terminus.send": {"terminus.seal"},
+    "ipc.invoke": {"terminus.punt"},
+    "env.dispatch": {"ipc.invoke"},
+    "enclave.cross": {"env.dispatch"},
+    "terminus.cache_hit": {"terminus.decrypt"},
+    "resilience.failover": {"resilience.peer_dead"},
+}
+
+_KNOWN = _TRACE_HEADS | set(_NEEDS) | {
+    "terminus.decrypt",
+    "terminus.punt",
+    "terminus.seal",
+}
+
+
+def _check_trace(trace: int, spans: list[Span]) -> list[str]:
+    """All grammar violations in one trace (empty = conformant)."""
+    problems: list[str] = []
+    if spans[0].name not in _TRACE_HEADS:
+        problems.append(f"trace {trace} opens with {spans[0].name!r}")
+    seen: set[str] = set()
+    parked = drained = replayed = 0
+    for span in spans:
+        if span.name not in _KNOWN:
+            problems.append(f"trace {trace}: unknown span {span.name!r}")
+            continue
+        if not span.done:
+            problems.append(f"trace {trace}: unclosed span {span.name!r}")
+        elif span.end is not None and span.end < span.start:
+            problems.append(f"trace {trace}: span {span.name!r} ends early")
+        missing = _NEEDS.get(span.name, set()) - seen
+        if missing:
+            problems.append(
+                f"trace {trace}: {span.name!r} before {sorted(missing)}"
+            )
+        seen.add(span.name)
+        if span.name == "miss.park":
+            parked += span.attrs["n"]
+        elif span.name == "miss.drain":
+            drained += span.attrs["n"]
+        elif span.name == "miss.replay":
+            replayed += span.attrs["n"]
+    if parked != drained + replayed:
+        problems.append(
+            f"trace {trace}: miss ledger parked={parked} "
+            f"!= drained={drained} + replayed={replayed}"
+        )
+    return problems
+
+
+def _traces_of(recorder: FlightRecorder) -> dict[int, list[Span]]:
+    grouped: dict[int, list[Span]] = defaultdict(list)
+    for span in recorder.iter_spans():
+        grouped[span.trace].append(span)
+    # A bounded ring may hold a truncated oldest trace; skip any trace
+    # whose head was evicted (it cannot be judged against the grammar).
+    return {
+        trace: spans
+        for trace, spans in grouped.items()
+        if spans[0].name in _TRACE_HEADS
+    }
+
+
+def _assert_conformant(recorder: FlightRecorder) -> dict[int, list[Span]]:
+    traces = _traces_of(recorder)
+    problems = [
+        problem
+        for trace, spans in traces.items()
+        for problem in _check_trace(trace, spans)
+    ]
+    assert not problems, "\n".join(problems)
+    return traces
+
+
+def _arm(sns, capacity: int = 200_000):
+    return [sn.enable_observability(capacity=capacity) for sn in sns]
+
+
+def _ingress_sn(handles, host):
+    """The SN a host is associated with (its first hop)."""
+    address = host.first_hop_addresses[0]
+    return next(sn for sn in handles.sns if sn.address == address)
+
+
+def _sn_of(net, edomain: str, index: int):
+    dom = net.edomains[edomain]
+    return dom.sns[dom.sn_addresses()[index]]
+
+
+def _span_names(traces: dict[int, list[Span]]) -> set[str]:
+    return {span.name for spans in traces.values() for span in spans}
+
+
+class TestMetroTrafficConformance:
+    def test_steady_traffic_traces_conform(self):
+        handles = metro_federation(n_edomains=2, sns_per_edomain=2, hosts_per_sn=1)
+        _arm(handles.sns)
+        net = handles.net
+        hosts = handles.hosts
+        conns = []
+        for i in range(len(hosts)):
+            a, b = hosts[i], hosts[(i + 1) % len(hosts)]
+            conns.append(
+                (a, a.connect(
+                    WellKnownService.IP_DELIVERY,
+                    dest_addr=b.address,
+                    allow_direct=False,
+                ))
+            )
+        for burst in range(3):
+            for a, conn in conns:
+                a.send(conn, f"payload-{burst}".encode())
+            net.run(1.0)
+        names: set[str] = set()
+        for sn in handles.sns:
+            assert sn.obs is not None
+            traces = _assert_conformant(sn.obs.recorder)
+            names |= _span_names(traces)
+        # The fleet exercised both halves of the decision: first packets
+        # punt (through IPC into dispatch), repeats ride the fast path.
+        for expected in (
+            "terminus.receive",
+            "terminus.decrypt",
+            "terminus.punt",
+            "ipc.invoke",
+            "env.dispatch",
+            "terminus.cache_hit",
+            "terminus.seal",
+            "terminus.send",
+        ):
+            assert expected in names, f"fleet never recorded {expected}"
+
+    def test_punt_latency_histograms_populated(self):
+        handles = metro_federation(n_edomains=2, sns_per_edomain=2, hosts_per_sn=1)
+        _arm(handles.sns)
+        a, b = handles.hosts[0], handles.hosts[-1]
+        conn = a.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=b.address, allow_direct=False
+        )
+        for i in range(5):
+            a.send(conn, b"x")
+        handles.net.run(2.0)
+        ingress = _ingress_sn(handles, a)
+        assert ingress.obs is not None
+        assert ingress.obs.terminus_latency.count > 0
+        assert ingress.obs.punt_latency.count > 0
+        # Egress latency includes terminus cost; punts add on top of it.
+        assert (
+            ingress.obs.terminus_latency.max
+            >= ingress.cost_model.terminus_latency
+        )
+
+
+class TestColdStormConformance:
+    def test_cold_storm_parks_and_drains_conformantly(self):
+        """Back-to-back first packets arrive as one burst: the cold path
+        must coalesce (punt once, park followers, drain off the install)
+        and the trace must say so, in grammar order."""
+        handles = metro_federation(n_edomains=2, sns_per_edomain=2, hosts_per_sn=1)
+        _arm(handles.sns)
+        net = handles.net
+        a, b = handles.hosts[0], handles.hosts[-1]
+        conn = a.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=b.address, allow_direct=False
+        )
+        # All sends queue before the sim runs -> the access link delivers
+        # them as one burst. first=False keeps every header identical
+        # (no FIRST flag on packet 1), so the burst is a single cold
+        # flow: the lead punts and the followers park behind it.
+        for i in range(12):
+            a.send(conn, f"storm-{i}".encode(), first=False)
+        net.run(2.0)
+        storm_names: set[str] = set()
+        for sn in handles.sns:
+            assert sn.obs is not None
+            storm_names |= _span_names(_assert_conformant(sn.obs.recorder))
+        assert "terminus.punt" in storm_names
+        assert "miss.park" in storm_names
+        # Followers left the queue through the grammar's two exits.
+        assert storm_names & {"miss.drain", "miss.replay"}
+        parked = sum(
+            sn.terminus.miss_queue.stats.parked for sn in handles.sns
+        )
+        assert parked > 0
+        for sn in handles.sns:
+            sn.terminus.miss_queue.check_drained()
+
+
+class TestFailoverConformance:
+    def test_border_crash_records_failover_trace(self, two_edomain_net):
+        net = two_edomain_net
+        coordinator = net.enable_resilience(interval=0.25)
+        recorder = FlightRecorder(clock=lambda: net.sim.now, capacity=4096)
+        coordinator.recorder = recorder
+        a = net.add_host(_sn_of(net, "west", 1), name="a")
+        b = net.add_host(_sn_of(net, "east", 1), name="b")
+        conn = a.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=b.address, allow_direct=False
+        )
+        a.send(conn, b"before")
+        net.run(1.0)
+        net.edomains["west"].border_sn.crash()
+        net.run(3.0)
+        traces = _assert_conformant(recorder)
+        assert traces, "no resilience traces recorded"
+        # Death reports open resilience traces; exactly as many failover
+        # spans as the coordinator's audit log records repairs.
+        names = _span_names(traces)
+        assert "resilience.peer_dead" in names
+        failover_spans = recorder.spans(name="resilience.failover")
+        assert len(failover_spans) == len(coordinator.failovers())
+        assert len(failover_spans) >= 1
+        for span in failover_spans:
+            assert span.done and span.attrs["edomain"] == "west"
+        # Traffic still flows after the repair (and keeps conforming).
+        a.send(conn, b"after")
+        net.run(1.0)
+        _assert_conformant(recorder)
+
+
+class TestReproObsEnvironment:
+    def test_env_armed_metro_run_end_to_end(self, monkeypatch):
+        """REPRO_OBS=1 arms every SN at build time; a metro run then
+        yields complete traces and percentile columns in SNSnapshot."""
+        monkeypatch.setenv("REPRO_OBS", "1")
+        handles = metro_federation(
+            n_edomains=2, sns_per_edomain=2, hosts_per_sn=1
+        )
+        net = handles.net
+        assert all(sn.obs is not None for sn in handles.sns)
+        a, b = handles.hosts[0], handles.hosts[-1]
+        conn = a.connect(
+            WellKnownService.IP_DELIVERY, dest_addr=b.address, allow_direct=False
+        )
+        for i in range(4):
+            a.send(conn, b"x")
+            net.run(0.5)
+        for sn in handles.sns:
+            _assert_conformant(sn.obs.recorder)
+        monitor = FederationMonitor(net)
+        report = monitor.collect()
+        ingress_name = _ingress_sn(handles, a).name
+        ingress = next(s for s in report.snapshots if s.name == ingress_name)
+        assert ingress.lat_p50 > 0.0
+        assert ingress.lat_p999 >= ingress.lat_p99 >= ingress.lat_p50
+        assert ingress.punt_p99 > 0.0
+        rows = monitor.history[-1].to_rows()
+        assert {"p50(µs)", "p99(µs)", "p999(µs)", "punt_p99(µs)"} <= set(
+            rows[0]
+        )
+        # Federation-level export merges every armed SN's registry.
+        merged = monitor.obs_registry()
+        assert merged is not None
+        assert merged.histogram("terminus.latency").count == sum(
+            sn.obs.terminus_latency.count for sn in handles.sns
+        )
+        assert monitor.obs_json() is not None
+        assert "terminus.latency" in (monitor.obs_table() or "")
