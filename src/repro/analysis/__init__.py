@@ -31,11 +31,42 @@ Rule          What it enforces
 ``RES001``    Every watch registration (``watch`` / ``watch_prefix`` /
               ``watch_group``) in a class has a matching teardown call
               in the same class — watches must not leak.
+``OBS001``    Every ``begin_span`` call site has a matching ``end_span``
+              in the same scope — spans must not dangle.
+``EVT001``    *Whole-program.* No function transitively reachable from
+              an event-loop callback (``schedule`` / ``post`` /
+              ``Timer`` / ``PeriodicTask`` / ``watch*`` registrations,
+              pipe transmit handlers) may reach a blocking or wall-clock
+              primitive (``time.sleep``, ``time.time``, sockets,
+              ``subprocess``, ``threading`` sync). Findings carry the
+              full call chain from the registered callback.
+``DET003``    *Whole-program.* Every ``random.Random(seed)`` /
+              ``.reseed(x)`` argument must dataflow back to a
+              constructor parameter, config field, or literal — never
+              ``os.urandom``, ``id()``, ``hash()``, wall clocks, or
+              set/dict iteration order.
+``LEDGER001`` *Whole-program.* Every counter field on a ``*Stats``
+              dataclass has at least one write site somewhere in the
+              program, and every field named by a
+              ``CONSERVATION_LEDGERS`` declaration exists on its class.
 ============  ==========================================================
+
+The whole-program rules run on a project-wide symbol table and call
+graph (:mod:`repro.analysis.graph`): module-qualified resolution of
+functions and methods, conservative receiver-type inference from
+annotations and dataclass fields, and callback-registration edges
+treated as call edges. Resolution caveats are documented in
+``docs/API.md``.
 
 A finding can be waived inline with ``# repro: allow(CODE) reason`` on
 the offending line or the line above; waivers are deliberate, reviewed
 exceptions (e.g. ``ILPHeader`` is dict-backed for its wire memo).
+
+Repeated runs stay fast through a content-hash incremental cache
+(``--cache PATH``): per-file findings are keyed on each file's SHA-256
+and the whole-program pass on the digest of every file hash, so only
+edited files are re-parsed and the interprocedural pass only re-runs
+when anything changed.
 
 The static rules are paired with a *sanitizer mode*
 (:mod:`repro.sanitize`): ``REPRO_SANITIZE=1`` arms debug-build runtime
@@ -44,14 +75,26 @@ checks of the same invariants at the terminus and resilience layers.
 
 from __future__ import annotations
 
-from .engine import Finding, ModuleContext, analyze_file, analyze_paths
+from .engine import (
+    AnalysisCache,
+    Finding,
+    ModuleContext,
+    analyze_file,
+    analyze_paths,
+    build_program_for_paths,
+)
+from .graph import ProgramGraph, build_program
 from .rules import ALL_RULES, RULE_DOCS
 
 __all__ = [
     "ALL_RULES",
     "RULE_DOCS",
+    "AnalysisCache",
     "Finding",
     "ModuleContext",
+    "ProgramGraph",
     "analyze_file",
     "analyze_paths",
+    "build_program",
+    "build_program_for_paths",
 ]

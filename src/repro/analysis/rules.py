@@ -474,7 +474,23 @@ def rule_obs001(ctx: ModuleContext) -> list[Finding]:
     return findings
 
 
-ALL_RULES = (rule_det001, rule_det002, rule_wire001, rule_res001, rule_obs001)
+from .iprules import (  # noqa: E402  (rule catalog assembly)
+    rule_det003,
+    rule_evt001,
+    rule_ledger001,
+)
+
+#: Per-module rules first, then the whole-program (interprocedural) ones.
+ALL_RULES = (
+    rule_det001,
+    rule_det002,
+    rule_wire001,
+    rule_res001,
+    rule_obs001,
+    rule_evt001,
+    rule_det003,
+    rule_ledger001,
+)
 
 RULE_DOCS = {
     "DET001": "no unseeded nondeterminism (global RNG, wall clock, "
@@ -483,4 +499,10 @@ RULE_DOCS = {
     "WIRE001": "wire-path classes declare slots and pair encode/decode",
     "RES001": "every watch registration has a matching teardown",
     "OBS001": "every begin_span call site has a matching end_span",
+    "EVT001": "[whole-program] nothing transitively reachable from an "
+    "event-loop callback may block or read the wall clock",
+    "DET003": "[whole-program] RNG seeds must dataflow from parameters, "
+    "config fields, or literals — never entropy or set/dict iteration",
+    "LEDGER001": "[whole-program] every *Stats counter has a write site "
+    "and conservation-ledger declarations name real fields",
 }

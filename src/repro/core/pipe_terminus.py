@@ -258,20 +258,13 @@ class MissQueue:
         every parked packet must have been drained or accounted as dropped
         (``live == 0`` between bursts), and the ledger must balance.
         """
-        st = self.stats
         if self._live != 0:
             _san.fail(
                 "miss-queue-leak",
                 f"{self._live} packet(s) still parked across "
                 f"{len(self._flows)} flow(s) after batch ingress",
             )
-        if st.parked != st.drained_fast + st.replayed + st.dropped + self._live:
-            _san.fail(
-                "miss-queue-ledger",
-                f"parked={st.parked} != drained_fast={st.drained_fast} "
-                f"+ replayed={st.replayed} + dropped={st.dropped} "
-                f"+ live={self._live}",
-            )
+        _san.check_ledger(self.stats, "miss-queue-ledger", live=self._live)
 
 
 @dataclass(slots=True)

@@ -32,7 +32,15 @@ from __future__ import annotations
 
 import os
 
-__all__ = ["ENABLED", "SanitizeError", "fail", "set_enabled", "enabled_from_env"]
+__all__ = [
+    "CONSERVATION_LEDGERS",
+    "ENABLED",
+    "SanitizeError",
+    "check_ledger",
+    "fail",
+    "set_enabled",
+    "enabled_from_env",
+]
 
 
 class SanitizeError(AssertionError):
@@ -71,3 +79,35 @@ def set_enabled(value: bool) -> bool:
 def fail(check: str, detail: str) -> None:
     """Raise a :class:`SanitizeError` for a named check."""
     raise SanitizeError(f"sanitize[{check}]: {detail}")
+
+
+#: Declarative conservation ledgers: stats-class name -> (total field,
+#: exit fields). The invariant is ``total == sum(exits) + live`` where
+#: ``live`` is passed by the call site (in-flight units not yet booked to
+#: an exit). The static analyzer (LEDGER001) cross-checks every field
+#: named here against the class definition, so a renamed counter breaks
+#: the build instead of silently voiding the runtime check.
+CONSERVATION_LEDGERS = {
+    "MissQueueStats": ("parked", ("drained_fast", "replayed", "dropped")),
+}
+
+
+def check_ledger(stats: object, check: str, *, live: int = 0) -> None:
+    """Assert the declared conservation ledger for *stats* balances.
+
+    Looks up ``type(stats).__name__`` in :data:`CONSERVATION_LEDGERS` and
+    verifies ``total == sum(exits) + live``. Raises :class:`SanitizeError`
+    (via :func:`fail`) when the ledger is missing or out of balance —
+    both are repo bugs, never input errors.
+    """
+    decl = CONSERVATION_LEDGERS.get(type(stats).__name__)
+    if decl is None:
+        fail(check, f"no conservation ledger declared for {type(stats).__name__}")
+        return
+    total_field, exit_fields = decl
+    total = getattr(stats, total_field)
+    if total != sum(getattr(stats, field) for field in exit_fields) + live:
+        parts = " + ".join(
+            f"{field}={getattr(stats, field)}" for field in exit_fields
+        )
+        fail(check, f"{total_field}={total} != {parts} + live={live}")

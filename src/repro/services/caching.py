@@ -24,7 +24,6 @@ is disabled for the connection.
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Optional

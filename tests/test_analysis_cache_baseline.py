@@ -1,0 +1,285 @@
+"""Tests for the incremental analysis cache and the findings baseline.
+
+The cache tests prove *behaviorally* that cached results are used (by
+tampering with the stored rows and seeing the tampered result come
+back on an unchanged tree) and that a content change invalidates
+exactly the stale entries. The baseline tests cover the
+``--write-baseline`` / ``--since-baseline`` ratchet workflow.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.engine import ENGINE_VERSION
+
+
+def _write(tmp_path: Path, name: str, body: str) -> Path:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return path
+
+
+DIRTY = """
+import random
+
+X = random.random()
+"""
+
+
+class TestCache:
+    def test_cache_file_created_and_results_stable(self, tmp_path):
+        tree = tmp_path / "tree"
+        _write(tree, "dirty.py", DIRTY)
+        cache = tmp_path / "cache.json"
+        first = analyze_paths([tree], cache_path=cache)
+        assert cache.exists()
+        second = analyze_paths([tree], cache_path=cache)
+        assert first == second
+        assert [f.code for f in first] == ["DET001"]
+
+    def test_cached_module_rows_are_actually_used(self, tmp_path):
+        tree = tmp_path / "tree"
+        _write(tree, "dirty.py", DIRTY)
+        cache = tmp_path / "cache.json"
+        analyze_paths([tree], cache_path=cache)
+        # Tamper with the cached finding message; an unchanged tree must
+        # surface the tampered row — proof the cache short-circuits the
+        # per-module rules.
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        (entry,) = payload["files"].values()
+        entry["findings"][0][4] = "TAMPERED"
+        cache.write_text(json.dumps(payload), encoding="utf-8")
+        findings = analyze_paths([tree], cache_path=cache)
+        assert [f.message for f in findings] == ["TAMPERED"]
+
+    def test_edit_invalidates_stale_entry(self, tmp_path):
+        tree = tmp_path / "tree"
+        path = _write(tree, "dirty.py", DIRTY)
+        cache = tmp_path / "cache.json"
+        analyze_paths([tree], cache_path=cache)
+        path.write_text("X = 1\n", encoding="utf-8")
+        assert analyze_paths([tree], cache_path=cache) == []
+        # And the fix is re-cached: a tampered stale row cannot return.
+        assert analyze_paths([tree], cache_path=cache) == []
+
+    def test_cached_program_rows_are_actually_used(self, tmp_path):
+        tree = tmp_path / "tree"
+        _write(
+            tree,
+            "mod.py",
+            """
+            import time
+
+            class Engine:
+                def schedule(self, delay, callback):
+                    pass
+
+            class Worker:
+                def start(self, eng: Engine):
+                    eng.schedule(1.0, self.tick)
+
+                def tick(self):
+                    time.sleep(0.1)
+            """,
+        )
+        cache = tmp_path / "cache.json"
+        first = analyze_paths([tree], cache_path=cache)
+        assert "EVT001" in [f.code for f in first]
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        for row in payload["program"]["findings"]:
+            row[4] = "IP-TAMPERED"
+        cache.write_text(json.dumps(payload), encoding="utf-8")
+        findings = analyze_paths([tree], cache_path=cache)
+        ip_messages = [f.message for f in findings if f.code == "EVT001"]
+        assert ip_messages == ["IP-TAMPERED"]
+
+    def test_new_file_invalidates_program_pass(self, tmp_path):
+        tree = tmp_path / "tree"
+        _write(
+            tree,
+            "engine.py",
+            """
+            class Engine:
+                def schedule(self, delay, callback):
+                    pass
+            """,
+        )
+        _write(
+            tree,
+            "worker.py",
+            """
+            from engine import Engine
+            from util import helper
+
+            class Worker:
+                def start(self, eng: Engine):
+                    eng.schedule(1.0, self.tick)
+
+                def tick(self):
+                    helper()
+            """,
+        )
+        _write(tree, "util.py", "def helper():\n    pass\n")
+        cache = tmp_path / "cache.json"
+        assert analyze_paths([tree], cache_path=cache) == []
+        # Making an untouched-but-reachable helper blocking must be seen
+        # even though worker.py itself did not change.
+        _write(
+            tree,
+            "util.py",
+            """
+            import time
+
+            def helper():
+                time.sleep(0.5)
+            """,
+        )
+        findings = analyze_paths([tree], cache_path=cache)
+        assert "EVT001" in [f.code for f in findings]
+
+    def test_rules_key_mismatch_cold_starts(self, tmp_path):
+        tree = tmp_path / "tree"
+        _write(tree, "dirty.py", DIRTY)
+        cache = tmp_path / "cache.json"
+        analyze_paths([tree], cache_path=cache)
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        assert payload["rules_key"].endswith(f"|{ENGINE_VERSION}")
+        # A different rule subset must not reuse the full-set entries:
+        # tamper first, then run a subset — the tampered row must NOT
+        # surface because the rules_key no longer matches.
+        (entry,) = payload["files"].values()
+        entry["findings"][0][4] = "TAMPERED"
+        cache.write_text(json.dumps(payload), encoding="utf-8")
+        from repro.analysis.rules import rule_det001
+
+        findings = analyze_paths([tree], rules=[rule_det001], cache_path=cache)
+        assert findings and findings[0].message != "TAMPERED"
+
+    def test_removed_files_pruned_from_cache(self, tmp_path):
+        tree = tmp_path / "tree"
+        keep = _write(tree, "keep.py", "X = 1\n")
+        drop = _write(tree, "drop.py", "Y = 2\n")
+        cache = tmp_path / "cache.json"
+        analyze_paths([tree], cache_path=cache)
+        drop.unlink()
+        keep.write_text("X = 3\n", encoding="utf-8")  # force a dirty save
+        analyze_paths([tree], cache_path=cache)
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        assert not any("drop.py" in rel for rel in payload["files"])
+
+    def test_corrupt_cache_tolerated(self, tmp_path):
+        tree = tmp_path / "tree"
+        _write(tree, "dirty.py", DIRTY)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+        findings = analyze_paths([tree], cache_path=cache)
+        assert [f.code for f in findings] == ["DET001"]
+
+    def test_cli_cache_flag(self, tmp_path, capsys):
+        tree = tmp_path / "tree"
+        _write(tree, "clean.py", "X = 1\n")
+        cache = tmp_path / "cache.json"
+        assert analysis_main(["--cache", str(cache), str(tree)]) == 0
+        assert cache.exists()
+        assert analysis_main(["--cache", str(cache), str(tree)]) == 0
+
+
+class TestBaseline:
+    def test_write_then_compare_clean(self, tmp_path, capsys):
+        tree = tmp_path / "tree"
+        _write(tree, "dirty.py", DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            analysis_main(
+                [str(tree), "--baseline", str(baseline), "--write-baseline"]
+            )
+            == 0
+        )
+        assert baseline.exists()
+        # Same tree, known debt: --since-baseline reports nothing new.
+        assert (
+            analysis_main(
+                [str(tree), "--baseline", str(baseline), "--since-baseline"]
+            )
+            == 0
+        )
+
+    def test_new_finding_breaks_the_ratchet(self, tmp_path, capsys):
+        tree = tmp_path / "tree"
+        _write(tree, "dirty.py", DIRTY)
+        baseline = tmp_path / "baseline.json"
+        analysis_main([str(tree), "--baseline", str(baseline), "--write-baseline"])
+        _write(
+            tree,
+            "fresh.py",
+            """
+            import random
+
+            Y = random.random()
+            """,
+        )
+        capsys.readouterr()
+        assert (
+            analysis_main(
+                [str(tree), "--baseline", str(baseline), "--since-baseline"]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        # Only the new finding is reported; the baselined one stays quiet.
+        assert "fresh.py" in out
+        assert "dirty.py" not in out
+
+    def test_fixed_finding_does_not_resurrect(self, tmp_path):
+        tree = tmp_path / "tree"
+        path = _write(tree, "dirty.py", DIRTY)
+        baseline = tmp_path / "baseline.json"
+        analysis_main([str(tree), "--baseline", str(baseline), "--write-baseline"])
+        path.write_text("X = 1\n", encoding="utf-8")
+        assert (
+            analysis_main(
+                [str(tree), "--baseline", str(baseline), "--since-baseline"]
+            )
+            == 0
+        )
+
+    def test_line_drift_does_not_break_the_ratchet(self, tmp_path):
+        # Baseline identity is (path, code, message): inserting lines
+        # above a known finding must not resurrect it.
+        tree = tmp_path / "tree"
+        path = _write(tree, "dirty.py", DIRTY)
+        baseline = tmp_path / "baseline.json"
+        analysis_main([str(tree), "--baseline", str(baseline), "--write-baseline"])
+        path.write_text(
+            "# a comment pushing everything down\n\n"
+            + path.read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        assert (
+            analysis_main(
+                [str(tree), "--baseline", str(baseline), "--since-baseline"]
+            )
+            == 0
+        )
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        tree = tmp_path / "tree"
+        _write(tree, "clean.py", "X = 1\n")
+        assert (
+            analysis_main(
+                [
+                    str(tree),
+                    "--baseline",
+                    str(tmp_path / "missing.json"),
+                    "--since-baseline",
+                ]
+            )
+            == 2
+        )
+        assert "no readable baseline" in capsys.readouterr().err

@@ -736,7 +736,16 @@ class TestCLI:
     def test_list_rules(self, capsys):
         assert analysis_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("DET001", "DET002", "WIRE001", "RES001", "OBS001"):
+        for code in (
+            "DET001",
+            "DET002",
+            "DET003",
+            "WIRE001",
+            "RES001",
+            "OBS001",
+            "EVT001",
+            "LEDGER001",
+        ):
             assert code in out
 
 
