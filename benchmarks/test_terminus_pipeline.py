@@ -81,8 +81,8 @@ def _make_rig():
     return node, PSPContext(secret_in), delivered
 
 
-def _header_bytes(conn: int) -> bytes:
-    h = ILPHeader(service_id=2, connection_id=conn)
+def _header_bytes(conn: int, service: int = 2) -> bytes:
+    h = ILPHeader(service_id=service, connection_id=conn)
     h.set_str(TLV.DEST_ADDR, "192.168.0.77")
     h.set_str(TLV.SRC_HOST, "192.168.0.12")
     return h.encode()
@@ -380,6 +380,200 @@ def test_obs_overhead_gate():
     )
 
 
+VICTIM_SERVICE = 3
+VICTIM_EGRESS = "10.0.0.4"
+HEALTHY_FLOWS = 56
+VICTIM_FLOWS = 8
+
+
+class _VictimModule(ServiceModule):
+    """Forwards without installing — its flows stay cold every burst."""
+
+    SERVICE_ID = VICTIM_SERVICE
+    NAME = "victim-bench"
+
+    def handle_packet(self, header, packet):
+        return Verdict.forward(VICTIM_EGRESS, header, packet.payload)
+
+
+def _make_overload_rig():
+    """An SN whose sink counts deliveries per egress peer."""
+    sim = Simulator()
+    node = ServiceNode(sim, "sn", SN_ADDR)
+    counts: dict[str, int] = {}
+
+    def sink(peer: str, packet: ILPPacket) -> bool:
+        counts[peer] = counts.get(peer, 0) + 1
+        return True
+
+    node.terminus._transmit = sink
+    secret_in = pairwise_secret(SN_ADDR, INGRESS)
+    node.keystore.establish(INGRESS, secret_in)
+    for peer in (EGRESS, VICTIM_EGRESS):
+        node.keystore.establish(peer, pairwise_secret(SN_ADDR, peer))
+    for conn in range(1, HEALTHY_FLOWS + 1):
+        node.cache.install(CacheKey(INGRESS, 2, conn), Decision.forward(EGRESS))
+    node.env.load(_VictimModule())
+    return node, PSPContext(secret_in), counts
+
+
+def _mixed_burst(tx: PSPContext):
+    """BURST packets round-robined over 56 healthy + 8 victim flows."""
+    payload = make_payload(b"x" * 64)
+    headers = [_header_bytes(conn) for conn in range(1, HEALTHY_FLOWS + 1)] + [
+        _header_bytes(conn, service=VICTIM_SERVICE)
+        for conn in range(1, VICTIM_FLOWS + 1)
+    ]
+    return [
+        ILPPacket(
+            l3=L3Header(src=INGRESS, dst=SN_ADDR),
+            ilp_wire=tx.seal(headers[i % len(headers)]),
+            payload=payload,
+        )
+        for i in range(BURST)
+    ]
+
+
+def _measure_healthy_goodput(terminus, tx, counts, min_seconds=0.3) -> float:
+    """Healthy-flow deliveries (to EGRESS) per wall second, mixed bursts."""
+    terminus.receive_batch(_mixed_burst(tx))  # warm-up (trips breakers etc.)
+    base = counts.get(EGRESS, 0)
+    elapsed = 0.0
+    while elapsed < min_seconds:
+        burst = _mixed_burst(tx)
+        t0 = time.perf_counter()
+        terminus.receive_batch(burst)
+        elapsed += time.perf_counter() - t0
+    return (counts.get(EGRESS, 0) - base) / elapsed
+
+
+def test_overload_recovery():
+    """Overload gate: healthy goodput under a hung service ≥ 0.8× baseline.
+
+    64-flow mixed interleaved traffic — 56 healthy warm flows plus 8 cold
+    flows on a victim service — in three arms, same run:
+
+    * ``baseline`` — the victim service is healthy and its flows warm:
+      every packet rides the fast path (the no-fault reference);
+    * ``unprotected`` — the victim hangs with no overload policy: every
+      victim lead punts and times out at the cost-model deadline, burning
+      slow-path work each burst (informational);
+    * ``protected`` — the victim hangs behind a fail-closed policy with a
+      circuit breaker: after the first bursts trip it, victim packets
+      short-circuit to degradation without crossing the boundary.
+
+    The CI gate is **relative, same run** (container speed cannot flake
+    it): protected healthy goodput ≥ 0.8× the no-fault baseline. A
+    sim-clocked coda measures the breaker lifecycle and gates recovery:
+    closed again within 2 sim-seconds of the fault clearing.
+    """
+    from repro.core.overload import BreakerConfig, ServicePolicy
+    from repro.core.overload import BreakerState
+
+    # Arm 1: no-fault baseline (victim flows warm too).
+    node, tx, counts = _make_overload_rig()
+    for conn in range(1, VICTIM_FLOWS + 1):
+        node.cache.install(
+            CacheKey(INGRESS, VICTIM_SERVICE, conn),
+            Decision.forward(VICTIM_EGRESS),
+        )
+    baseline_pps = _measure_healthy_goodput(node.terminus, tx, counts)
+
+    # Arm 2: hung victim, no policy — the damage being protected against.
+    node, tx, counts = _make_overload_rig()
+    node.env.inject_hang(VICTIM_SERVICE)
+    unprotected_pps = _measure_healthy_goodput(node.terminus, tx, counts)
+
+    # Arm 3: hung victim behind deadline + breaker + fail-closed policy.
+    node, tx, counts = _make_overload_rig()
+    node.env.inject_hang(VICTIM_SERVICE)
+    node.set_service_policy(
+        VICTIM_SERVICE,
+        ServicePolicy(
+            deadline=1e-3,
+            breaker=BreakerConfig(min_samples=2, ewma_alpha=1.0),
+        ),
+    )
+    protected_pps = _measure_healthy_goodput(node.terminus, tx, counts)
+    guard = node.terminus.overload
+    breaker = guard.breakers[VICTIM_SERVICE]
+    # The protection actually engaged, and memory stayed bounded.
+    assert breaker.state is BreakerState.OPEN
+    assert guard.stats.short_circuits > 0
+    assert counts.get(VICTIM_EGRESS, 0) == 0  # fail-closed leaked nothing
+    assert node.terminus.miss_queue.live == 0
+    assert node.cache.stale_count <= node.cache.stale_capacity
+
+    # Sim-clocked breaker lifecycle: trip under the fault, then recover
+    # once it clears — within the 2-sim-second budget.
+    node, tx, _counts = _make_overload_rig()
+    sim = node.sim
+    node.env.inject_hang(VICTIM_SERVICE)
+    node.set_service_policy(
+        VICTIM_SERVICE,
+        ServicePolicy(
+            deadline=1e-3,
+            breaker=BreakerConfig(
+                min_samples=2,
+                ewma_alpha=1.0,
+                open_duration=0.5,
+                half_open_probes=2,
+                close_after=1,
+            ),
+        ),
+    )
+
+    def punt_victim(conn: int) -> None:
+        header = _header_bytes(conn, service=VICTIM_SERVICE)
+        node.terminus.receive(
+            ILPPacket(
+                l3=L3Header(src=INGRESS, dst=SN_ADDR),
+                ilp_wire=tx.seal(header),
+                payload=make_payload(b"x" * 64),
+            )
+        )
+
+    fault_cleared_at = 1.0
+    for i in range(4):  # fault window: punts time out, breaker trips
+        sim.schedule_at(0.1 + i * 0.1, punt_victim, i + 1)
+    sim.schedule_at(fault_cleared_at, node.env.clear_service_fault, VICTIM_SERVICE)
+    for i in range(4):  # post-fault probes close the breaker
+        sim.schedule_at(1.6 + i * 0.1, punt_victim, i + 1)
+    sim.run(3.0)
+    breaker = node.terminus.overload.breakers[VICTIM_SERVICE]
+    trip_at = next(
+        at for at, state in breaker.transitions if state is BreakerState.OPEN
+    )
+    recovered_at = breaker.recovered_at()
+    assert recovered_at is not None
+    recovery_lag = recovered_at - fault_cleared_at
+    assert breaker.state is BreakerState.CLOSED
+
+    protected_ratio = protected_pps / baseline_pps
+    _results["overload"] = {
+        "baseline_healthy_pps": round(baseline_pps, 1),
+        "unprotected_healthy_pps": round(unprotected_pps, 1),
+        "protected_healthy_pps": round(protected_pps, 1),
+        "protected_ratio": round(protected_ratio, 3),
+        "unprotected_ratio": round(unprotected_pps / baseline_pps, 3),
+        "healthy_flows": HEALTHY_FLOWS,
+        "victim_flows": VICTIM_FLOWS,
+        "burst": BURST,
+        "breaker_trip_sim_s": round(trip_at, 3),
+        "breaker_recovery_lag_sim_s": round(recovery_lag, 3),
+        "gate": "protected healthy goodput >= 0.8x no-fault baseline; "
+        "breaker closed within 2 sim-s of fault clearing",
+    }
+    assert recovery_lag <= 2.0, (
+        f"breaker took {recovery_lag:.2f} sim-s after the fault cleared to "
+        "close; budget is 2.0"
+    )
+    assert protected_ratio >= 0.8, (
+        f"healthy goodput under protection is only {protected_ratio:.2f}x "
+        f"baseline ({protected_pps:.0f} vs {baseline_pps:.0f} pps); gate is 0.8x"
+    )
+
+
 def test_netsim_engine_event_throughput():
     """Event-loop churn: schedule+dispatch and timer re-arm rates."""
     sim = Simulator()
@@ -478,6 +672,7 @@ def teardown_module(module):
         "flow_locality",
         "interleaved_sharding",
         "cold_storm",
+        "overload",
         "obs_overhead",
         "netsim_engine",
         "netsim_burst",

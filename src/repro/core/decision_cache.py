@@ -121,6 +121,9 @@ class CacheStats:
     installs: int = 0
     evictions: int = 0
     invalidations: int = 0
+    stale_hits: int = 0
+    stale_misses: int = 0
+    stale_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -128,7 +131,20 @@ class CacheStats:
 
 
 class DecisionCache:
-    """Bounded exact-match decision cache."""
+    """Bounded exact-match decision cache.
+
+    Alongside the live table sits a bounded **stale-decision shelf**: the
+    last decision ever installed per key, kept (LRU-bounded at
+    ``stale_capacity``) even after the live entry is evicted or replaced.
+    It exists solely for ``fail_static`` degradation — when a service's
+    circuit is open, the terminus may serve a connection's last-known
+    decision instead of dropping — and is **never** consulted by the fast
+    path. Teardown (:meth:`invalidate`, :meth:`invalidate_connection`) and
+    failover (:meth:`invalidate_by_target`) purge it so a torn-down
+    connection or a dead next hop can't be resurrected from the shelf, but
+    capacity eviction deliberately leaves it alone: surviving arbitrary
+    eviction is the point.
+    """
 
     __slots__ = (
         "capacity",
@@ -138,6 +154,8 @@ class DecisionCache:
         "_by_conn",
         "_key_list",
         "_key_pos",
+        "stale_capacity",
+        "_stale",
         "stats",
     )
 
@@ -146,9 +164,12 @@ class DecisionCache:
         capacity: int = 65536,
         policy: EvictionPolicy = EvictionPolicy.LRU,
         rng: Optional[random.Random] = None,
+        stale_capacity: int = 1024,
     ) -> None:
         if capacity < 1:
             raise CacheError("capacity must be >= 1")
+        if stale_capacity < 0:
+            raise CacheError("stale_capacity must be >= 0")
         self.capacity = capacity
         self.policy = policy
         self._rng = rng or random.Random(0)
@@ -160,6 +181,10 @@ class DecisionCache:
         #: RANDOM eviction picks a victim without copying the whole table.
         self._key_list: list[CacheKey] = []
         self._key_pos: dict[CacheKey, int] = {}
+        self.stale_capacity = stale_capacity
+        #: Last-known decision per key for ``fail_static`` degradation;
+        #: LRU-bounded at ``stale_capacity`` (0 disables the shelf).
+        self._stale: "OrderedDict[CacheKey, Decision]" = OrderedDict()
         self.stats = CacheStats()
 
     # -- secondary-index maintenance ----------------------------------
@@ -292,8 +317,49 @@ class DecisionCache:
         stats.hits += hits
         return out
 
+    def _stale_put(self, key: CacheKey, decision: Decision) -> None:
+        """Remember ``key``'s latest decision on the bounded stale shelf."""
+        if self.stale_capacity == 0:
+            return
+        stale = self._stale
+        if key in stale:
+            stale[key] = decision
+            stale.move_to_end(key)
+            return
+        while len(stale) >= self.stale_capacity:
+            stale.popitem(last=False)
+            self.stats.stale_evictions += 1
+        stale[key] = decision
+
+    def stale_lookup(self, key: CacheKey) -> Optional[Decision]:
+        """Last-known decision for ``key`` (``fail_static`` degradation).
+
+        Not a fast-path lookup: no hit bookkeeping, no LRU touch on the
+        live table. The shelf's own LRU *is* refreshed so connections that
+        keep degrading stay resident.
+        """
+        decision = self._stale.get(key)
+        if decision is None:
+            self.stats.stale_misses += 1
+            return None
+        self._stale.move_to_end(key)
+        self.stats.stale_hits += 1
+        return decision
+
+    @property
+    def stale_count(self) -> int:
+        """Entries currently on the stale shelf (bounded-memory checks)."""
+        return len(self._stale)
+
+    def clear_stale(self) -> int:
+        """Wipe the stale shelf (node crash); returns the evicted count."""
+        count = len(self._stale)
+        self._stale.clear()
+        return count
+
     def install(self, key: CacheKey, decision: Decision, now: float = 0.0) -> None:
         """Install or replace an entry, evicting if at capacity."""
+        self._stale_put(key, decision)
         if key in self._entries:
             self._entries[key].decision = decision
             if self.policy is EvictionPolicy.LRU:
@@ -324,6 +390,7 @@ class DecisionCache:
         capacity = self.capacity
         installs = 0
         for key, decision in pairs:
+            self._stale_put(key, decision)
             entry = entries.get(key)
             if entry is not None:
                 entry.decision = decision
@@ -341,6 +408,7 @@ class DecisionCache:
 
     def invalidate(self, key: CacheKey) -> bool:
         """Remove one entry (service teardown). Returns True if present."""
+        self._stale.pop(key, None)
         if self._entries.pop(key, None) is not None:
             self._index_discard(key)
             self.stats.invalidations += 1
@@ -356,6 +424,15 @@ class DecisionCache:
         SN tears down connections continuously while the table holds tens of
         thousands of unrelated entries.
         """
+        # The shelf may hold keys the live table already evicted, so it is
+        # scanned independently (bounded at ``stale_capacity``): a torn-down
+        # connection must not be resurrectable via ``fail_static``.
+        for key in [
+            k
+            for k in self._stale
+            if k.service_id == service_id and k.connection_id == connection_id
+        ]:
+            del self._stale[key]
         victims = self._by_conn.get((service_id, connection_id))
         if not victims:
             return 0
@@ -383,6 +460,14 @@ class DecisionCache:
         route. Full-table scan — failover is rare and correctness-first;
         the common-case operations stay O(1).
         """
+        # A dead next hop must not be served from the shelf either.
+        for key in [
+            k
+            for k, decision in self._stale.items()
+            if decision.action is Action.FORWARD
+            and any(target.peer == peer for target in decision.targets)
+        ]:
+            del self._stale[key]
         victims = [
             key
             for key, entry in self._entries.items()

@@ -26,6 +26,7 @@ from ..netsim.link import Link
 from ..netsim.node import NetNode
 from .crypto import KeyPair
 from .ilp import Flags, ILPHeader, TLV, new_connection_id
+from .overload import RetryStats, retry_call
 from .packet import ILPPacket, L3Header, Payload, RawIPPacket, make_payload
 from .psp import PSPError, PeerKeyStore, pairwise_secret
 
@@ -78,6 +79,8 @@ class Host(NetNode):
         self.default_handler: Optional[DataHandler] = None
         self.delivered: list[tuple[ILPHeader, Payload]] = []
         self.undeliverable = 0
+        #: Backoff bookkeeping for retried first-hop lookups.
+        self.retry_stats = RetryStats()
 
     # -- association ---------------------------------------------------------
     def register_first_hop(self, sn: Any) -> None:
@@ -116,7 +119,17 @@ class Host(NetNode):
         §3.1: the choice depends on who pays for the service. We model this
         as: prefer an SN that actually deploys the service, else the first
         associated SN (pass-through SNs deploy nothing but forward onward).
+        One bounded retry (host-driven recovery, §3.3): a reassociation in
+        flight may land between the attempts.
         """
+        return retry_call(
+            lambda: self._first_hop_for(service_id),
+            attempts=2,
+            retry_on=(HostError,),
+            stats=self.retry_stats,
+        )
+
+    def _first_hop_for(self, service_id: int) -> Any:
         if not self._first_hops:
             raise HostError(f"host {self.name} has no first-hop SN")
         for sn in self._first_hops:

@@ -27,7 +27,7 @@ from __future__ import annotations
 import enum
 import pickle
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..obs.recorder import NULL_RECORDER
 
@@ -64,6 +64,12 @@ class CostModel:
     enclave_io: float = 1.0e-6  # enclave world-switch per crossing
     service_packet: float = 5.6e-6  # service CPU per punted packet
     bill_failed_invocations: bool = True  # failed punts still bill latency
+    #: Default slow-path deadline per punt (seconds); a per-service
+    #: :class:`~repro.core.overload.ServicePolicy` may override it. A punt
+    #: that times out bills the full deadline as latency — the wait is the
+    #: backpressure a circuit breaker then removes. ``None`` disables
+    #: deadline enforcement entirely.
+    punt_deadline: Optional[float] = 2.5e-3
 
     def invocation_latency(self, mode: InvocationMode, enclave: bool) -> float:
         base = (
@@ -174,8 +180,9 @@ class InvocationChannel:
 
     def invoke_batch(
         self,
-        handler: Callable[[list[tuple["ILPHeader", Any]]], list[Any]],
+        handler: Callable[..., list[Any]],
         punts: list[tuple["ILPHeader", Any]],
+        deadlines: Optional[list[Optional[float]]] = None,
     ) -> list[Any]:
         """Invoke ``handler`` on a whole batch of punts in one round trip.
 
@@ -185,6 +192,13 @@ class InvocationChannel:
         response every verdict — so the boundary cost is amortized across
         the batch. Shared-memory mode passes references and models one ring
         write per punt header.
+
+        ``deadlines`` (one optional per-punt slow-path deadline, same order
+        as ``punts``) rides the request marshal when present, so the
+        execution environment enforces deadlines on the far side of the
+        boundary exactly as a real slow-path daemon would. Without
+        deadlines the wire format — and therefore the byte accounting — is
+        unchanged.
         """
         stats = self.stats
         stats.invocations += len(punts)
@@ -197,16 +211,28 @@ class InvocationChannel:
         )
         try:
             if self.mode is InvocationMode.IPC:
-                request = pickle.dumps(punts, protocol=pickle.HIGHEST_PROTOCOL)
-                stats._account(self.mode, len(request))
-                rx_punts = pickle.loads(request)
-                results = handler(rx_punts)
+                if deadlines is None:
+                    request = pickle.dumps(
+                        punts, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    stats._account(self.mode, len(request))
+                    rx_punts = pickle.loads(request)
+                    results = handler(rx_punts)
+                else:
+                    request = pickle.dumps(
+                        (punts, deadlines), protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    stats._account(self.mode, len(request))
+                    rx_punts, rx_deadlines = pickle.loads(request)
+                    results = handler(rx_punts, rx_deadlines)
                 response = pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL)
                 stats._account(self.mode, len(response))
                 out: list[Any] = pickle.loads(response)
                 return out
             for punt_header, _packet in punts:
                 stats._account(self.mode, len(bytes(punt_header.encode())))
-            return handler(punts)
+            if deadlines is None:
+                return handler(punts)
+            return handler(punts, deadlines)
         finally:
             recorder.end_span(span)

@@ -15,6 +15,7 @@ from typing import Any, Optional
 
 from ..obs import MetricsRegistry, merged_registry, to_json, to_table
 from .federation import InterEdge
+from .overload import BreakerState
 from .service_node import ServiceNode
 
 
@@ -55,11 +56,22 @@ class SNSnapshot:
     punt_p50: float = 0.0
     punt_p99: float = 0.0
     punt_p999: float = 0.0
+    # Overload-resilience surface (all zeros on an unconfigured guard).
+    breakers_open: int = 0
+    breakers_half_open: int = 0
+    shed: int = 0
+    deadline_misses: int = 0
+    stale_entries: int = 0
 
     @property
     def fast_path_fraction(self) -> float:
         total = self.fast_path + self.punts
         return self.fast_path / total if total else 0.0
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Deadline misses per punt (0 when nothing was punted)."""
+        return self.deadline_misses / self.punts if self.punts else 0.0
 
     @property
     def pipes_watched(self) -> int:
@@ -71,8 +83,11 @@ def snapshot_sn(sn: ServiceNode) -> SNSnapshot:
 
     stats = sn.terminus.stats
     miss_stats = sn.terminus.miss_queue.stats
+    guard = sn.terminus.overload
     # Every drop exit the datapath has: terminus counters (including the
-    # offload stage) plus packets discarded from the miss queue on crash.
+    # offload stage and the overload layer's shed/degraded exits) plus
+    # packets discarded from the miss queue on crash. Shed *followers* are
+    # already inside drops_shed, so miss_stats.shed is not added again.
     drops = (
         stats.drops_no_peer
         + stats.drops_auth
@@ -81,8 +96,11 @@ def snapshot_sn(sn: ServiceNode) -> SNSnapshot:
         + stats.drops_by_decision
         + stats.drops_by_offload
         + stats.drops_by_service
+        + stats.drops_shed
+        + stats.drops_degraded
         + miss_stats.dropped
     )
+    breaker_states = guard.state_counts()
     if sn.health is not None:
         states = sn.health.state_counts()
         pipes_up = states[PeerState.UP]
@@ -135,6 +153,11 @@ def snapshot_sn(sn: ServiceNode) -> SNSnapshot:
         punt_p50=punt_p50,
         punt_p99=punt_p99,
         punt_p999=punt_p999,
+        breakers_open=breaker_states[BreakerState.OPEN],
+        breakers_half_open=breaker_states[BreakerState.HALF_OPEN],
+        shed=guard.stats.shed_packets,
+        deadline_misses=guard.stats.deadline_misses,
+        stale_entries=sn.cache.stale_count,
     )
 
 
@@ -208,9 +231,11 @@ class FederationReport:
                 "out": s.packets_out,
                 "fastpath%": round(100 * s.fast_path_fraction, 1),
                 "drops": s.drops,
+                "shed": s.shed,
                 "cache": s.cache_entries,
                 "hosts": s.associated_hosts,
                 "pipes!": s.pipes_suspect + s.pipes_dead,
+                "brk!": s.breakers_open + s.breakers_half_open,
                 "p50(µs)": round(s.lat_p50 * 1e6, 2),
                 "p99(µs)": round(s.lat_p99 * 1e6, 2),
                 "p999(µs)": round(s.lat_p999 * 1e6, 2),

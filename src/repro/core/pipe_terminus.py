@@ -94,12 +94,14 @@ from typing import TYPE_CHECKING, Callable, Optional
 from .. import sanitize as _san
 from ..obs.recorder import NULL_RECORDER
 from .decision_cache import Action, CacheKey, Decision, DecisionCache
+from .execution_env import PuntTimeout
 from .ilp import FLAGS_WIRE_OFFSET, Flags, ILPError, ILPHeader, TLV
 from .ipc import CostModel, InvocationChannel, InvocationMode
 from .offload import ActionKind, TerminusOffloadEngine
+from .overload import DegradeMode, OverloadGuard, ServicePolicy
 from .packet import ILPPacket, L3Header, Payload
 from .psp import PSPContext, PSPError, PeerKeyStore
-from .service_module import ServiceError, Verdict
+from .service_module import ServiceError, ServiceTimeout, Verdict
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs import NodeObs
@@ -113,6 +115,7 @@ _QOS_UNSET = object()
 _COLD_REPLAY = 0  # offload-programmed service: per-packet replay
 _COLD_DRAIN = 1  # dup/revived cache key: drain off the span's installs
 _COLD_LEAD = 2  # true cold flow: lead punts, followers park
+_COLD_SHED = 3  # admission control refused the group: whole run dropped
 
 
 def _san_check_header_wire(header: ILPHeader, wire: bytes) -> None:
@@ -159,19 +162,26 @@ class ShardStats:
 class MissQueueStats:
     """Miss-queue ledger.
 
-    Every parked packet must leave through exactly one of the three
-    exits — ``drained_fast`` (verdict installed, drained through the
-    fast path), ``replayed`` (no install, replayed per-packet through
-    the slow path), ``dropped`` (queue discarded on node crash) — so
-    ``parked == drained_fast + replayed + dropped + live`` at all
-    times. ``spilled`` counts packets that never parked because the
-    per-flow bound was hit (they go straight to per-packet replay).
+    ``offered`` counts every packet the miss path was asked to absorb —
+    parked followers, spill overflow, and packets shed by admission
+    control before parking. Each leaves through exactly one exit:
+    ``drained_fast`` (verdict installed, drained through the fast path),
+    ``replayed`` (no install, replayed per-packet through the slow path),
+    ``spilled`` (per-flow bound hit: went straight to per-packet replay),
+    ``shed`` (refused by the overload detector), or ``dropped`` (queue
+    discarded on node crash) — so
+    ``offered == drained_fast + replayed + spilled + shed + dropped +
+    live`` at all times (the armed conservation ledger). ``parked``
+    keeps its physical meaning: packets that actually entered the queue,
+    so ``parked == drained_fast + replayed + dropped + live`` holds too.
     """
 
+    offered: int = 0
     parked: int = 0
     drained_fast: int = 0
     replayed: int = 0
     spilled: int = 0
+    shed: int = 0
     dropped: int = 0
 
 
@@ -207,6 +217,7 @@ class MissQueue:
         self, flow: tuple[str, bytes], packets: list[ILPPacket]
     ) -> list[ILPPacket]:
         """Park up to the per-flow bound; return the spill (may be empty)."""
+        self.stats.offered += len(packets)
         queue = self._flows.get(flow)
         if queue is None:
             queue = []
@@ -221,6 +232,16 @@ class MissQueue:
         self.stats.parked += len(take)
         self.stats.spilled += len(spill)
         return spill
+
+    def shed(self, count: int) -> None:
+        """Account ``count`` would-be followers refused by admission control.
+
+        They were offered to the miss path but the overload detector shed
+        them before they parked — the ledger still balances because
+        ``shed`` is a first-class exit.
+        """
+        self.stats.offered += count
+        self.stats.shed += count
 
     def parked_count(self, flow: tuple[str, bytes]) -> int:
         queue = self._flows.get(flow)
@@ -281,6 +302,8 @@ class TerminusStats:
     drops_by_decision: int = 0
     drops_by_offload: int = 0
     drops_by_service: int = 0
+    drops_shed: int = 0  # refused by admission control under overload
+    drops_degraded: int = 0  # resolved fail-closed by a degradation mode
 
 
 class PipeTerminus:
@@ -299,6 +322,7 @@ class PipeTerminus:
         "stats",
         "shard_stats",
         "miss_queue",
+        "overload",
         "pending_delay",
         "peer_activity",
         "obs",
@@ -333,6 +357,9 @@ class PipeTerminus:
         #: Parks a cold group's followers while its lead packet punts
         #: (miss coalescing — see module docstring).
         self.miss_queue = MissQueue(miss_queue_limit)
+        #: Overload-resilience state: per-service policies + circuit
+        #: breakers and the admission detector. Inert until configured.
+        self.overload = OverloadGuard()
         #: Simulated-time processing delay to apply to the packets produced
         #: by the *current* ingress event; read by the node's transmit hook.
         self.pending_delay = 0.0
@@ -533,6 +560,22 @@ class PipeTerminus:
                 self.stats.offload_path += 1
                 self.send(offloaded.peer, header, packet.payload)
                 return
+        guard = self.overload
+        if guard.admission is not None and not guard.admit(
+            now, self.miss_queue.live
+        ):
+            # Priority-aware shedding: only true-cold data packets reach
+            # this point — barriers punt directly and established flows hit
+            # the cache — so CONTROL/LAST frames and warm flows are never
+            # shed by construction.
+            self.stats.drops_shed += 1
+            guard.stats.shed_packets += 1
+            obs = self.obs
+            if obs is not None:
+                obs.sheds.inc()
+            if self.recorder.recording:
+                self.recorder.event("overload.shed", peer=peer, n=1)
+            return
         self._punt(header, packet)
 
     # -- flow runs --------------------------------------------------------
@@ -805,6 +848,9 @@ class PipeTerminus:
                 items.append(entry)
 
         # Phase 1 — plan.
+        guard = self.overload
+        admission = guard.admission
+        obs = self.obs
         modes: list[int] = []
         leads: list[tuple[ILPHeader, ILPPacket]] = []
         spills: dict[tuple[str, bytes], list[ILPPacket]] = {}
@@ -817,6 +863,26 @@ class PipeTerminus:
                 # Membership only: no charge, no LRU touch — phase 3's
                 # lookup_run makes the (position-correct) charged probe.
                 modes.append(_COLD_DRAIN)
+                continue
+            if admission is not None and not guard.admit(now, queue.live):
+                # Priority-aware shedding, batch flavor: only true-cold
+                # groups reach this check — barriers flushed before the
+                # span, warm flows hit the cache, dup/revived keys drain —
+                # so CONTROL/LAST and established flows are never shed.
+                # One token covers the whole group (the batch analogue of
+                # the per-packet scalar consume); the would-be followers
+                # join the miss-queue ledger through its ``shed`` exit.
+                modes.append(_COLD_SHED)
+                n = len(run)
+                stats.drops_shed += n
+                guard.stats.shed_packets += n
+                guard.stats.shed_groups += 1
+                if n > 1:
+                    queue.shed(n - 1)
+                if obs is not None:
+                    obs.sheds.inc(n)
+                if rec:
+                    recorder.event("overload.shed", peer=peer, n=n)
                 continue
             seen_keys.add(key)
             modes.append(_COLD_LEAD)
@@ -885,6 +951,8 @@ class PipeTerminus:
         lead_i = 0
         install_many = cache.install_many
         for (peer, plain, header, run, key), mode in zip(rows, modes):
+            if mode == _COLD_SHED:
+                continue
             if mode == _COLD_REPLAY:
                 flush_gather()
                 for packet in run:
@@ -987,43 +1055,180 @@ class PipeTerminus:
 
     # -- slow path ----------------------------------------------------------
     def _punt(self, header: ILPHeader, packet: ILPPacket) -> None:
+        guard = self.overload
+        policy = (
+            guard.policies.get(header.service_id) if guard.policies else None
+        )
+        now = self._clock() if policy is not None else 0.0
+        if (
+            policy is not None
+            and not header.flags & Flags.SLOW_PATH
+            and not guard.breakers[header.service_id].allow(now)
+        ):
+            # Open circuit: resolve via the service's degradation mode
+            # without crossing the boundary — the struggling service never
+            # sees the packet and the terminus bills no invocation latency,
+            # so healthy services on this SN keep their goodput. Barriers
+            # (CONTROL/LAST) are exempt: teardown must reach the service
+            # (or fail closed in :meth:`_degrade`), never be short-cut into
+            # a forward or a stale replay.
+            guard.stats.short_circuits += 1
+            obs = self.obs
+            if obs is not None:
+                obs.short_circuits.inc()
+                obs.breakers_open.set(float(guard.open_count()))
+            if self.recorder.recording:
+                self.recorder.event(
+                    "overload.short_circuit", service=header.service_id, n=1
+                )
+            self._degrade(policy, header, packet)
+            return
         self.stats.punts += 1
         if not self.env.has_service(header.service_id):
             self.stats.drops_no_service += 1
             return
-        in_enclave = self.env.enclave_for(header.service_id) is not None
-        # One boundary round trip plus the service's per-packet CPU. A
-        # failed invocation still crossed the boundary and burned that
-        # CPU, so by default it bills the same latency; see
-        # :attr:`CostModel.bill_failed_invocations`.
-        latency = (
-            self.cost_model.invocation_latency(self.channel.mode, in_enclave)
-            + self.cost_model.service_packet
-        )
         recorder = self.recorder
         span = recorder.begin_span(
             "terminus.punt",
             service=header.service_id,
             connection=header.connection_id,
         )
+        try:
+            verdict = self._invoke_one(header, packet, policy, now)
+        finally:
+            recorder.end_span(span)
+        if verdict is not None:
+            self.apply_verdict(verdict)
+
+    def _invoke_one(
+        self,
+        header: ILPHeader,
+        packet: ILPPacket,
+        policy: Optional[ServicePolicy],
+        now: float,
+    ) -> Optional[Verdict]:
+        """Invoke one punt scalar-style, with deadline + breaker accounting.
+
+        The caller has already counted the punt, checked service presence,
+        and cleared the circuit breaker; this helper owns the invocation,
+        the billing, and failure resolution — degradation when a policy is
+        set, the classic by-service drop otherwise. One boundary round
+        trip plus the service's per-packet CPU; a failed invocation still
+        crossed the boundary and burned that CPU, so by default it bills
+        the same latency (see :attr:`CostModel.bill_failed_invocations`).
+        A timed-out punt bills the crossing plus the full deadline — the
+        wait *is* the overload cost the breaker then removes.
+        """
+        env = self.env
+        cost = self.cost_model
+        guard = self.overload
+        service_id = header.service_id
+        in_enclave = env.enclave_for(service_id) is not None
+        base = cost.invocation_latency(self.channel.mode, in_enclave)
+        latency = base + cost.service_packet
+        deadline = (
+            policy.deadline
+            if policy is not None and policy.deadline is not None
+            else cost.punt_deadline
+        )
+        fault = env.service_fault(service_id)
+        breaker = (
+            guard.breakers.get(service_id) if policy is not None else None
+        )
+        recorder = self.recorder
         obs = self.obs
         try:
-            verdict: Verdict = self.channel.invoke(
-                self.env.dispatch, header, packet
-            )
+            if fault is None:
+                verdict: Verdict = self.channel.invoke(
+                    env.dispatch, header, packet
+                )
+            else:
+                verdict = self.channel.invoke(
+                    lambda h, p: env.dispatch(h, p, deadline), header, packet
+                )
+        except ServiceTimeout:
+            guard.stats.deadline_misses += 1
+            if breaker is not None and breaker.record_timeout(now):
+                if obs is not None:
+                    obs.breaker_trips.inc()
+                if recorder.recording:
+                    recorder.event(
+                        "overload.breaker_open", service=service_id
+                    )
+            waited = base + (deadline or 0.0)
+            self.pending_delay += waited
+            if obs is not None:
+                obs.deadline_misses.inc()
+                obs.punt_latency.record(waited)
+            if recorder.recording:
+                recorder.event("overload.timeout", service=service_id, n=1)
+            if policy is not None:
+                self._degrade(policy, header, packet)
+            else:
+                self.stats.drops_by_service += 1
+            return None
         except ServiceError:
-            self.stats.drops_by_service += 1
-            recorder.end_span(span)
-            if self.cost_model.bill_failed_invocations:
+            if breaker is not None and breaker.record_error(now):
+                if obs is not None:
+                    obs.breaker_trips.inc()
+                if recorder.recording:
+                    recorder.event(
+                        "overload.breaker_open", service=service_id
+                    )
+            if cost.bill_failed_invocations:
                 self.pending_delay += latency
                 if obs is not None:
                     obs.punt_latency.record(latency)
-            return
-        recorder.end_span(span)
+            if policy is not None:
+                self._degrade(policy, header, packet)
+            else:
+                self.stats.drops_by_service += 1
+            return None
+        if breaker is not None:
+            breaker.record_success(now)
+        if fault is not None:
+            # A slowed-but-within-deadline service billed its slowdown.
+            latency += fault.slowdown
         self.pending_delay += latency
         if obs is not None:
             obs.punt_latency.record(latency)
-        self.apply_verdict(verdict)
+        return verdict
+
+    def _degrade(
+        self, policy: ServicePolicy, header: ILPHeader, packet: ILPPacket
+    ) -> None:
+        """Resolve a punt its service could not handle, per declared mode.
+
+        ``fail_open`` forwards to the policy's designated next hop (the
+        packet keeps moving, unserviced); ``fail_static`` replays the
+        connection's last-known decision from the stale shelf (falling
+        closed when there is none); ``fail_closed`` drops. CONTROL/LAST
+        barriers always fail closed regardless of mode: forwarding a
+        teardown the service never saw — or replaying a stale decision for
+        it — would desynchronize connection state across the federation.
+        """
+        guard = self.overload
+        if not header.flags & Flags.SLOW_PATH:
+            mode = policy.degrade
+            if mode is DegradeMode.FAIL_OPEN:
+                guard.stats.degraded_open += 1
+                assert policy.fail_open_peer is not None
+                self.send(policy.fail_open_peer, header, packet.payload)
+                return
+            if mode is DegradeMode.FAIL_STATIC:
+                key = CacheKey(
+                    src=packet.l3.src,
+                    service_id=header.service_id,
+                    connection_id=header.connection_id,
+                )
+                decision = self.cache.stale_lookup(key)
+                if decision is not None:
+                    guard.stats.degraded_static += 1
+                    self.apply_decision(decision, header, packet.payload)
+                    return
+                guard.stats.static_misses += 1
+        guard.stats.degraded_closed += 1
+        self.stats.drops_degraded += 1
 
     def _punt_batch(
         self, punts: list[tuple[ILPHeader, ILPPacket]]
@@ -1043,66 +1248,148 @@ class PipeTerminus:
         :meth:`~repro.core.ipc.InvocationChannel.invoke` path so its byte
         accounting matches per-packet processing exactly.
 
-        Returns one entry per punt, in order (``None`` = no service or
-        service error). Verdicts are **not** applied here — the caller
-        applies them in span order.
+        Returns one entry per punt, in order (``None`` = no service,
+        service error, timeout, or circuit short-circuit — in every case
+        the punt installed nothing, so the caller's followers replay
+        per-packet exactly as the scalar path would). Verdicts are **not**
+        applied here — the caller applies them in span order.
+
+        Overload handling mirrors the scalar path per lead: an open
+        breaker short-circuits the lead to its degradation mode before the
+        punt is even counted; a timed-out lead (``PuntTimeout`` slot from
+        the execution environment) bills its deadline as latency, feeds
+        its breaker, and degrades. The batch consumes one admission token
+        per *span* rather than per packet — the same liberty the sharding
+        stage takes with cross-flow order.
         """
         stats = self.stats
         env = self.env
         cost = self.cost_model
+        guard = self.overload
+        obs = self.obs
+        recorder = self.recorder
         results: list[Optional[Verdict]] = [None] * len(punts)
         eligible: list[int] = []
+        deadlines: list[Optional[float]] = []
         enclave_services: set[int] = set()
+        has_policies = bool(guard.policies)
+        now = self._clock() if has_policies else 0.0
         for i, (header, _packet) in enumerate(punts):
+            service_id = header.service_id
+            policy = guard.policies.get(service_id) if has_policies else None
+            if (
+                policy is not None
+                and not header.flags & Flags.SLOW_PATH
+                and not guard.breakers[service_id].allow(now)
+            ):
+                guard.stats.short_circuits += 1
+                if obs is not None:
+                    obs.short_circuits.inc()
+                    obs.breakers_open.set(float(guard.open_count()))
+                if recorder.recording:
+                    recorder.event(
+                        "overload.short_circuit", service=service_id, n=1
+                    )
+                self._degrade(policy, header, punts[i][1])
+                continue
             stats.punts += 1
-            if not env.has_service(header.service_id):
+            if not env.has_service(service_id):
                 stats.drops_no_service += 1
                 continue
             eligible.append(i)
-            if env.enclave_for(header.service_id) is not None:
-                enclave_services.add(header.service_id)
+            deadlines.append(
+                policy.deadline
+                if policy is not None and policy.deadline is not None
+                else cost.punt_deadline
+            )
+            if env.enclave_for(service_id) is not None:
+                enclave_services.add(service_id)
         if not eligible:
             return results
         if len(eligible) == 1:
             i = eligible[0]
             header, packet = punts[i]
-            latency = (
-                cost.invocation_latency(
-                    self.channel.mode, header.service_id in enclave_services
-                )
-                + cost.service_packet
+            policy = (
+                guard.policies.get(header.service_id) if has_policies else None
             )
-            obs = self.obs
-            try:
-                results[i] = self.channel.invoke(env.dispatch, header, packet)
-            except ServiceError:
-                stats.drops_by_service += 1
-                if cost.bill_failed_invocations:
-                    self.pending_delay += latency
-                    if obs is not None:
-                        obs.punt_latency.record(latency)
-                return results
-            self.pending_delay += latency
-            if obs is not None:
-                obs.punt_latency.record(latency)
+            results[i] = self._invoke_one(header, packet, policy, now)
             return results
         batch = [punts[i] for i in eligible]
-        verdicts = self.channel.invoke_batch(env.dispatch_batch, batch)
+        has_faults = env.has_faults
+        if has_faults:
+            # Deadlines ride the marshal only when a fault could trip them,
+            # so the fault-free wire format (and byte accounting) is
+            # unchanged.
+            verdicts = self.channel.invoke_batch(
+                env.dispatch_batch, batch, deadlines=deadlines
+            )
+        else:
+            verdicts = self.channel.invoke_batch(env.dispatch_batch, batch)
         failed = 0
-        for i, verdict in zip(eligible, verdicts):
+        timed_out = 0
+        extra = 0.0
+        for pos, (i, verdict) in enumerate(zip(eligible, verdicts)):
+            header = punts[i][0]
+            service_id = header.service_id
+            policy = guard.policies.get(service_id) if has_policies else None
+            breaker = (
+                guard.breakers.get(service_id) if policy is not None else None
+            )
+            if isinstance(verdict, PuntTimeout):
+                timed_out += 1
+                guard.stats.deadline_misses += 1
+                if breaker is not None and breaker.record_timeout(now):
+                    if obs is not None:
+                        obs.breaker_trips.inc()
+                    if recorder.recording:
+                        recorder.event(
+                            "overload.breaker_open", service=service_id
+                        )
+                waited = deadlines[pos] or 0.0
+                self.pending_delay += waited
+                if obs is not None:
+                    obs.deadline_misses.inc()
+                    if waited:
+                        obs.punt_latency.record(waited)
+                if recorder.recording:
+                    recorder.event(
+                        "overload.timeout", service=service_id, n=1
+                    )
+                if policy is not None:
+                    self._degrade(policy, header, punts[i][1])
+                else:
+                    stats.drops_by_service += 1
+                continue
             if verdict is None:
-                stats.drops_by_service += 1
                 failed += 1
-            else:
-                results[i] = verdict
-        billed = len(eligible)
+                if breaker is not None and breaker.record_error(now):
+                    if obs is not None:
+                        obs.breaker_trips.inc()
+                    if recorder.recording:
+                        recorder.event(
+                            "overload.breaker_open", service=service_id
+                        )
+                if policy is not None:
+                    self._degrade(policy, header, punts[i][1])
+                else:
+                    stats.drops_by_service += 1
+                continue
+            if breaker is not None:
+                breaker.record_success(now)
+            if has_faults:
+                # Slowed-but-within-deadline services bill their slowdown.
+                extra += env.fault_latency(service_id)
+            results[i] = verdict
+        # Timed-out leads billed their own deadline above and never burned
+        # service CPU; failed ones did (unless the fail-fast policy waives
+        # it). The shared crossing is always billed once the batch is sent.
+        billed = len(eligible) - timed_out
         if not cost.bill_failed_invocations:
             billed -= failed
         crossing = cost.batch_invocation_latency(
             self.channel.mode, len(enclave_services)
         )
-        self.pending_delay += crossing + cost.service_packet * billed
-        obs = self.obs
+        self.pending_delay += crossing + cost.service_packet * billed + extra
         if obs is not None and billed:
             # Per-lead view of the amortized crossing: each billed punt
             # carries its share of the batch round trip plus its own CPU.

@@ -41,8 +41,10 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from .. import sanitize as _san
+from ..control.core_store import CoreStoreError
 from ..netsim.engine import PeriodicTask
 from ..obs.recorder import NULL_RECORDER
+from .overload import RetryStats, retry_call
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from ..control.core_store import CoreStore
@@ -317,6 +319,8 @@ class ResilienceAgent:
         self.sn = sn
         self.store = store
         self.resyncs = 0
+        #: Backoff bookkeeping for retried core-store reads.
+        self.retry_stats = RetryStats()
         self._token = store.watch_prefix("resilience/", self._on_update)
 
     def _on_update(self, key: str, op: str, value: Any) -> None:
@@ -324,13 +328,41 @@ class ResilienceAgent:
             return  # crashed SNs miss control-plane pushes; restart resyncs
         self.resync()
 
+    def _count_retry(self, delay: float) -> None:
+        obs = self.sn.obs
+        if obs is not None:
+            obs.retries.inc()
+
     def resync(self) -> None:
-        """Recompute this SN's border-peer table from the store."""
+        """Recompute this SN's border-peer table from the store.
+
+        Store reads go through :func:`~repro.core.overload.retry_call`
+        (capped decorrelated-jitter backoff, deterministic per-agent): a
+        post-restart resync races the very failover it is catching up on,
+        and a transiently unreachable core must not leave the SN with a
+        half-built border table when the next attempt would have succeeded.
+        """
         self.resyncs += 1
-        border = self.store.get("resilience/border")
-        for key in self.store.keys("resilience/remote-border/"):
+        store = self.store
+        border = retry_call(
+            lambda: store.get("resilience/border"),
+            retry_on=(CoreStoreError,),
+            stats=self.retry_stats,
+            on_backoff=self._count_retry,
+        )
+        for key in retry_call(
+            lambda: store.keys("resilience/remote-border/"),
+            retry_on=(CoreStoreError,),
+            stats=self.retry_stats,
+            on_backoff=self._count_retry,
+        ):
             remote = key.rsplit("/", 1)[1]
-            remote_border = self.store.get(key)
+            remote_border = retry_call(
+                lambda key=key: store.get(key),
+                retry_on=(CoreStoreError,),
+                stats=self.retry_stats,
+                on_backoff=self._count_retry,
+            )
             if remote_border is None:
                 continue
             if border == self.sn.address or border is None:
@@ -361,6 +393,8 @@ class FailoverCoordinator:
         #: Audit log of resilience actions: dicts with at/kind/... keys.
         self.log: list[dict[str, Any]] = []
         self._failed_over: set[str] = set()
+        #: Backoff bookkeeping for retried store publishes and purges.
+        self.retry_stats = RetryStats()
         #: Flight recorder for failover spans; the shared no-op by default.
         #: Each death report opens its own trace (control events are not
         #: part of any packet's ingress trace).
@@ -456,9 +490,23 @@ class FailoverCoordinator:
                     remote_border, latency=self.net.border_latency
                 )
         edomain.designate_border(alternate)  # publishes resilience/border
+        # Publishing the new border to every remote core and purging the
+        # dead SN are the two writes the whole federation converges on;
+        # transient store trouble retries with bounded backoff rather than
+        # leaving some edomains pointing at a dead border.
         for remote in remote_domains:
-            remote.store.put(f"resilience/remote-border/{edomain.name}", alternate)
-        purged = edomain.membership_core.purge_sn(dead)
+            retry_call(
+                lambda r=remote: r.store.put(
+                    f"resilience/remote-border/{edomain.name}", alternate
+                ),
+                retry_on=(CoreStoreError,),
+                stats=self.retry_stats,
+            )
+        purged = retry_call(
+            lambda: edomain.membership_core.purge_sn(dead),
+            retry_on=(CoreStoreError,),
+            stats=self.retry_stats,
+        )
         evicted = 0
         for sn in self.net.all_sns():
             if sn.address != dead:

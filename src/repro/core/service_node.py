@@ -32,6 +32,7 @@ from .decision_cache import CacheKey, Decision, DecisionCache
 from .execution_env import ExecutionEnvironment
 from .ilp import ILPHeader, TLV
 from .ipc import CostModel, InvocationMode
+from .overload import AdmissionConfig, ServicePolicy
 from .packet import ILPPacket, Payload, RawIPPacket
 from .pipe_terminus import PipeTerminus
 from .psp import PeerKeyStore, pairwise_secret
@@ -270,6 +271,23 @@ class ServiceNode(NetNode):
         self.health.start(initial_delay=initial_delay)
         return self.health
 
+    def set_service_policy(self, service_id: int, policy: ServicePolicy) -> None:
+        """Declare a slow-path overload policy for one deployed service.
+
+        Arms the deadline, degradation mode, and circuit breaker for
+        ``service_id`` on this SN's terminus. Services without a policy
+        keep the pre-overload behavior exactly (failures drop, no breaker).
+        """
+        self.terminus.overload.set_policy(service_id, policy)
+
+    def enable_admission_control(self, config: AdmissionConfig) -> None:
+        """Arm the terminus overload detector (miss-queue depth + punt rate).
+
+        Under pressure it sheds *true-cold* leads only — CONTROL/LAST
+        barriers and established (cached) flows are never shed.
+        """
+        self.terminus.overload.enable_admission(config)
+
     def crash(self) -> None:
         """Fail this SN: links down, frames dropped, volatile state lost.
 
@@ -283,6 +301,11 @@ class ServiceNode(NetNode):
         self.crashes += 1
         self.fail()
         self.cache.evict_random_fraction(1.0)
+        # The stale shelf and the breakers' EWMA state are volatile too:
+        # a rebooted terminus must not serve pre-crash decisions via
+        # fail_static or start life with a tripped circuit.
+        self.cache.clear_stale()
+        self.terminus.overload.reset()
         # Packets parked in the miss queue are in-flight datapath state —
         # lost with the rest of the terminus, accounted as dropped.
         self.terminus.miss_queue.discard_all()

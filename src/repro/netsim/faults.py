@@ -76,6 +76,10 @@ KINDS = (
     "restart",
     "partition",
     "heal",
+    "service_slowdown",
+    "service_hang",
+    "service_recover",
+    "punt_storm",
 )
 
 
@@ -211,6 +215,71 @@ class FaultPlan:
     def restart(self, node: str, at: float) -> "FaultPlan":
         return self.add(at, "restart", node)
 
+    # -- service faults ----------------------------------------------------
+    def service_slowdown(
+        self,
+        node: str,
+        service_id: int,
+        at: float,
+        extra: float,
+        duration: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Slow one service's slow-path handling on ``node`` by ``extra``
+        seconds per punt; clears after ``duration`` if given.
+
+        A slowdown beyond the terminus punt deadline makes every punt time
+        out — the brownout shape that trips a circuit breaker without the
+        service ever erroring.
+        """
+        if extra <= 0:
+            raise FaultError("service slowdown needs extra > 0")
+        self.add(at, "service_slowdown", node, (int(service_id), float(extra)))
+        if duration is not None:
+            self.add(at + duration, "service_recover", node, int(service_id))
+        return self
+
+    def service_hang(
+        self,
+        node: str,
+        service_id: int,
+        at: float,
+        duration: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Hang one service on ``node``: every punt times out at its
+        deadline until ``service_recover`` (scheduled after ``duration``
+        when given) clears the fault."""
+        self.add(at, "service_hang", node, int(service_id))
+        if duration is not None:
+            self.add(at + duration, "service_recover", node, int(service_id))
+        return self
+
+    def service_recover(
+        self, node: str, service_id: int, at: float
+    ) -> "FaultPlan":
+        return self.add(at, "service_recover", node, int(service_id))
+
+    def punt_storm(
+        self,
+        node: str,
+        at: float,
+        period: float = 0.01,
+        count: int = 1,
+        fraction: float = 1.0,
+    ) -> "FaultPlan":
+        """Repeatedly evict ``fraction`` of ``node``'s decision cache.
+
+        ``count`` evictions spaced ``period`` apart: each wipe forces the
+        traffic behind it back onto the slow path at once — the cold-flow
+        storm that stresses miss coalescing and admission control.
+        """
+        if period <= 0 or count < 1 or not 0.0 < fraction <= 1.0:
+            raise FaultError(
+                "punt storm needs period > 0, count >= 1, 0 < fraction <= 1"
+            )
+        for i in range(count):
+            self.add(at + i * period, "punt_storm", node, fraction)
+        return self
+
     # -- partitions --------------------------------------------------------
     def partition(
         self,
@@ -315,6 +384,14 @@ class FaultInjector:
         except KeyError:
             raise FaultError(f"no node registered as {name!r}") from None
 
+    def _env(self, name: str) -> Any:
+        env = getattr(self._node(name), "env", None)
+        if env is None:
+            raise FaultError(
+                f"node {name!r} has no execution environment for service faults"
+            )
+        return env
+
     def _fire(self, event: FaultEvent) -> None:
         kind, target, value = event.kind, event.target, event.value
         if kind == "link_down":
@@ -344,6 +421,21 @@ class FaultInjector:
                 restart()
             else:
                 node.recover()
+        elif kind == "service_slowdown":
+            service_id, extra = value
+            self._env(target).inject_slowdown(int(service_id), float(extra))
+        elif kind == "service_hang":
+            self._env(target).inject_hang(int(value))
+        elif kind == "service_recover":
+            self._env(target).clear_service_fault(int(value))
+        elif kind == "punt_storm":
+            node = self._node(target)
+            cache = getattr(node, "cache", None)
+            if cache is None:
+                raise FaultError(
+                    f"node {target!r} has no decision cache to storm"
+                )
+            cache.evict_random_fraction(float(value))
         elif kind in ("partition", "heal"):
             group_a, group_b = value
             names_a, names_b = set(group_a), set(group_b)

@@ -62,17 +62,37 @@ class NodeObs:
 
     Built by :meth:`ServiceNode.enable_observability`, which threads the
     recorder through the terminus, invocation channel, execution
-    environment, and enclaves. The two hot histograms are cached as
-    attributes so the egress path records without a registry lookup.
+    environment, and enclaves. The two hot histograms — and the overload
+    counters the slow path bumps under pressure — are cached as
+    attributes so the datapath records without a registry lookup.
     """
 
-    __slots__ = ("recorder", "registry", "terminus_latency", "punt_latency")
+    __slots__ = (
+        "recorder",
+        "registry",
+        "terminus_latency",
+        "punt_latency",
+        "sheds",
+        "deadline_misses",
+        "short_circuits",
+        "breaker_trips",
+        "retries",
+        "breakers_open",
+    )
 
     def __init__(self, recorder: FlightRecorder, registry: MetricsRegistry) -> None:
         self.recorder = recorder
         self.registry = registry
         self.terminus_latency = registry.histogram("terminus.latency")
         self.punt_latency = registry.histogram("punt.latency")
+        # Overload-resilience surface: all zero (and the gauge flat) unless
+        # the node's OverloadGuard is actually configured and tripping.
+        self.sheds = registry.counter("overload.sheds")
+        self.deadline_misses = registry.counter("overload.deadline_misses")
+        self.short_circuits = registry.counter("overload.short_circuits")
+        self.breaker_trips = registry.counter("overload.breaker_trips")
+        self.retries = registry.counter("overload.retries")
+        self.breakers_open = registry.gauge("overload.breakers_open")
 
     def export_json(self, include_spans: bool = False) -> str:
         return to_json(self.registry, self.recorder, include_spans=include_spans)

@@ -88,7 +88,10 @@ def fail(check: str, detail: str) -> None:
 #: named here against the class definition, so a renamed counter breaks
 #: the build instead of silently voiding the runtime check.
 CONSERVATION_LEDGERS = {
-    "MissQueueStats": ("parked", ("drained_fast", "replayed", "dropped")),
+    "MissQueueStats": (
+        "offered",
+        ("drained_fast", "replayed", "spilled", "shed", "dropped"),
+    ),
 }
 
 

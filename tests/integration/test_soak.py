@@ -10,6 +10,7 @@ import pytest
 
 from repro import WellKnownService
 from repro.core.monitoring import FederationMonitor
+from repro.core.overload import BreakerState
 from repro.netsim import FaultInjector, FaultPlan, link_name
 from repro.netsim.workloads import OnOffSource, PoissonSource
 from repro.scenarios import metro_federation
@@ -193,6 +194,138 @@ class TestChaosSoak:
                 injector.trace_digest(),
                 delivered,
                 [(e["at"], e["kind"]) for e in coordinator.log],
+                handles.net.sim.events_processed,
+            )
+
+        assert fingerprint() == fingerprint()
+
+
+def _overload_chaos_run():
+    """15 virtual seconds with one SN under punt_storm + service_slowdown.
+
+    The source's SN runs IP delivery under a fail-static policy while a
+    seeded FaultPlan slows the service past its slow-path deadline and
+    repeatedly evicts the decision cache (a punt storm). Every evicted
+    packet punts, times out, and must be served from the stale-decision
+    shelf instead of dropping; the circuit breaker trips, short-circuits
+    the storm, and recovers once the fault clears. Returns everything the
+    assertions and the determinism fingerprint need.
+    """
+    from repro.core.overload import BreakerConfig, DegradeMode, ServicePolicy
+
+    handles = metro_federation(n_edomains=3, sns_per_edomain=2, hosts_per_sn=1)
+    net = handles.net
+    victim = handles.sns[1]  # "sn-0-1", the source host's SN
+    victim.set_service_policy(
+        WellKnownService.IP_DELIVERY,
+        ServicePolicy(
+            deadline=2e-3,
+            degrade=DegradeMode.FAIL_STATIC,
+            breaker=BreakerConfig(
+                min_samples=2,
+                ewma_alpha=1.0,
+                open_duration=0.5,
+                half_open_probes=2,
+                close_after=1,
+            ),
+        ),
+    )
+    plan = (
+        FaultPlan(seed=7)
+        .service_slowdown(
+            "sn-0-1",
+            WellKnownService.IP_DELIVERY,
+            at=3.0,
+            extra=0.05,  # far beyond the 2 ms slow-path deadline
+            duration=4.0,  # auto service_recover at t=7.0
+        )
+        .punt_storm("sn-0-1", at=3.2, period=0.5, count=6, fraction=1.0)
+    )
+    injector = FaultInjector(net.sim, plan).bind(net)
+    injector.arm()
+
+    src, dst = handles.hosts[1], handles.hosts[3]
+    conn = src.connect(
+        WellKnownService.IP_DELIVERY, dest_addr=dst.address, allow_direct=False
+    )
+    for i in range(20):  # phase A: healthy — warms cache and stale shelf
+        net.sim.schedule_at(0.5 + i * 0.1, src.send, conn, b"pre-%d" % i)
+    for i in range(30):  # phase B: inside the fault window
+        net.sim.schedule_at(3.5 + i * 0.1, src.send, conn, b"mid-%d" % i)
+    for i in range(20):  # phase C: after recovery
+        net.sim.schedule_at(8.0 + i * 0.1, src.send, conn, b"post-%d" % i)
+    net.run(15.0)
+
+    delivered = [p.data for _, p in dst.delivered if p.data]
+    return handles, injector, victim, delivered
+
+
+class TestOverloadSoak:
+    def test_punt_storm_with_slowdown_degrades_to_stale_not_drops(self):
+        handles, injector, victim, delivered = _overload_chaos_run()
+        guard = victim.terminus.overload
+
+        # The fault actually bit: punts missed their deadline, the storm's
+        # evicted packets were served from the stale shelf, and the open
+        # breaker short-circuited part of the storm.
+        assert guard.stats.deadline_misses > 0
+        assert guard.stats.degraded_static > 0
+        assert guard.stats.short_circuits > 0
+        assert guard.stats.static_misses == 0  # the shelf covered the flow
+
+        # End-to-end goodput survived degradation: every phase delivered
+        # completely and in order, including packets sent mid-fault.
+        for phase, n in ((b"pre-", 20), (b"mid-", 30), (b"post-", 20)):
+            assert [d for d in delivered if d.startswith(phase)] == [
+                phase + b"%d" % i for i in range(n)
+            ]
+        assert handles.hosts[3].undeliverable == 0
+
+        # Breaker lifecycle: tripped during the fault, recovered to CLOSED
+        # within 2 sim-seconds of the fault clearing (t=7.0).
+        breaker = guard.breakers[WellKnownService.IP_DELIVERY]
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.stats.trips >= 1
+        recovered = breaker.recovered_at()
+        assert recovered is not None
+        assert 7.0 <= recovered <= 9.0
+
+        # Bounded memory, federation-wide: nothing left parked, every
+        # miss-queue ledger balances, every stale shelf within its cap.
+        for sn in handles.sns:
+            queue = sn.terminus.miss_queue
+            assert queue.live == 0
+            mq = queue.stats
+            assert mq.offered == (
+                mq.drained_fast
+                + mq.replayed
+                + mq.spilled
+                + mq.shed
+                + mq.dropped
+                + queue.live
+            )
+            assert sn.cache.stale_count <= sn.cache.stale_capacity
+        report = FederationMonitor(handles.net).collect()
+        assert report.total_drops == 0
+
+    def test_overload_soak_is_deterministic(self):
+        """Same plan seed ⇒ identical degradation, breaker timeline, and
+        delivery outcome — overload handling replays bit-identically."""
+
+        def fingerprint():
+            handles, injector, victim, delivered = _overload_chaos_run()
+            guard = victim.terminus.overload
+            breaker = guard.breakers[WellKnownService.IP_DELIVERY]
+            return (
+                injector.trace_digest(),
+                delivered,
+                (
+                    guard.stats.deadline_misses,
+                    guard.stats.short_circuits,
+                    guard.stats.degraded_static,
+                    guard.stats.static_misses,
+                ),
+                breaker.transitions,
                 handles.net.sim.events_processed,
             )
 

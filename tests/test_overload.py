@@ -1,0 +1,639 @@
+"""Overload-resilience layer: breakers, degradation, shedding, retries.
+
+Unit coverage for :mod:`repro.core.overload` plus terminus-level
+end-to-end scenarios (deadline misses, degradation modes, breaker trip
+and recovery on a live ServiceNode) and the monitoring regression tests
+for the overload columns in :func:`repro.core.monitoring.snapshot_sn`
+(mirroring the drop-accounting regressions in ``test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decision_cache import (
+    Action,
+    CacheError,
+    CacheKey,
+    Decision,
+    DecisionCache,
+)
+from repro.core.ilp import Flags, ILPHeader
+from repro.core.monitoring import snapshot_sn, FederationReport
+from repro.core.overload import (
+    AdmissionConfig,
+    AdmissionControl,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    DegradeMode,
+    OverloadError,
+    RetryStats,
+    ServicePolicy,
+    retry_call,
+)
+from repro.core.packet import ILPPacket, L3Header, make_payload
+from repro.core.psp import PSPContext, pairwise_secret
+from repro.core.service_module import ServiceError, ServiceModule, Verdict
+from repro.core.service_node import ServiceNode
+from repro.netsim import Simulator
+
+SN_ADDR = "10.0.0.1"
+PEER = "10.0.0.2"
+EGRESS = "10.0.0.3"
+DEGRADE_PEER = "10.0.0.4"
+VICTIM = 70
+
+
+# -- circuit breaker ------------------------------------------------------
+
+
+def _tight_breaker(**overrides) -> CircuitBreaker:
+    cfg = dict(
+        failure_threshold=0.5,
+        ewma_alpha=1.0,
+        min_samples=1,
+        open_duration=0.5,
+        open_jitter=0.0,
+        half_open_probes=2,
+        close_after=1,
+        seed=0,
+    )
+    cfg.update(overrides)
+    return CircuitBreaker(BreakerConfig(**cfg))
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_with_min_samples(self):
+        breaker = _tight_breaker(min_samples=3, ewma_alpha=1.0)
+        assert not breaker.record_timeout(0.0)
+        assert not breaker.record_timeout(0.0)
+        assert breaker.record_timeout(0.0)  # third sample reaches min
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.stats.trips == 1
+        assert breaker.transitions[-1][1] is BreakerState.OPEN
+
+    def test_successes_hold_ewma_below_threshold(self):
+        breaker = _tight_breaker(min_samples=2, ewma_alpha=0.3)
+        for _ in range(20):
+            breaker.record_success(0.0)
+        # One failure against a long success history must not trip.
+        assert not breaker.record_error(0.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_short_circuits_then_half_open_recovers(self):
+        breaker = _tight_breaker()
+        assert breaker.record_timeout(0.0)
+        assert not breaker.allow(0.1)
+        assert breaker.stats.short_circuits == 1
+        # Open period over: half-open, probes admitted, success closes.
+        assert breaker.allow(1.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.stats.probes == 1
+        assert breaker.record_success(1.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.stats.recoveries == 1
+        assert breaker.recovered_at() == 1.0
+
+    def test_failed_probe_reopens_immediately(self):
+        breaker = _tight_breaker()
+        breaker.record_timeout(0.0)
+        assert breaker.allow(1.0)
+        assert breaker.record_error(1.0)
+        assert breaker.state is BreakerState.OPEN
+        # The new open period starts at the failed probe.
+        assert not breaker.allow(1.2)
+
+    def test_probe_budget_is_bounded(self):
+        breaker = _tight_breaker(half_open_probes=2, close_after=3)
+        breaker.record_timeout(0.0)
+        assert breaker.allow(1.0)
+        assert breaker.allow(1.0)
+        # Probe budget exhausted without a verdict: short-circuit again.
+        assert not breaker.allow(1.0)
+
+    def test_open_jitter_is_deterministic_in_seed(self):
+        a = _tight_breaker(open_jitter=0.5, seed=7)
+        b = _tight_breaker(open_jitter=0.5, seed=7)
+        a.record_timeout(0.0)
+        b.record_timeout(0.0)
+        assert a.reopen_at == b.reopen_at
+        c = _tight_breaker(open_jitter=0.5, seed=8)
+        c.record_timeout(0.0)
+        assert c.reopen_at != a.reopen_at
+
+    def test_config_validation(self):
+        with pytest.raises(OverloadError):
+            CircuitBreaker(BreakerConfig(failure_threshold=0.0))
+        with pytest.raises(OverloadError):
+            CircuitBreaker(BreakerConfig(ewma_alpha=1.5))
+        with pytest.raises(OverloadError):
+            CircuitBreaker(BreakerConfig(open_duration=0.0))
+        with pytest.raises(OverloadError):
+            CircuitBreaker(BreakerConfig(half_open_probes=0))
+
+
+# -- retry_call -----------------------------------------------------------
+
+
+class _Flaky:
+    def __init__(self, failures: int, exc: type = ValueError) -> None:
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc("transient")
+        return "ok"
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        stats = RetryStats()
+        fn = _Flaky(2)
+        assert retry_call(fn, attempts=3, stats=stats) == "ok"
+        assert fn.calls == 3
+        assert stats.calls == 1
+        assert stats.retries == 2
+        assert stats.giveups == 0
+        assert stats.backoff_total > 0.0
+
+    def test_exhausted_attempts_reraise_original_type(self):
+        stats = RetryStats()
+        with pytest.raises(ValueError):
+            retry_call(_Flaky(5), attempts=3, stats=stats)
+        assert stats.giveups == 1
+        assert stats.retries == 2
+
+    def test_backoff_schedule_is_deterministic_in_seed(self):
+        a, b = RetryStats(), RetryStats()
+        with pytest.raises(ValueError):
+            retry_call(_Flaky(9), attempts=4, seed=3, stats=a)
+        with pytest.raises(ValueError):
+            retry_call(_Flaky(9), attempts=4, seed=3, stats=b)
+        assert a.backoff_total == b.backoff_total
+
+    def test_deadline_bounds_cumulative_backoff(self):
+        stats = RetryStats()
+        with pytest.raises(ValueError):
+            retry_call(
+                _Flaky(9),
+                attempts=10,
+                base_delay=0.01,
+                max_delay=0.01,
+                deadline=0.015,  # room for one 0.01 backoff, not two
+                stats=stats,
+            )
+        assert stats.retries == 1
+        assert stats.giveups == 1
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        fn = _Flaky(5, exc=KeyError)
+        with pytest.raises(KeyError):
+            retry_call(fn, attempts=5, retry_on=(ValueError,))
+        assert fn.calls == 1
+
+    def test_on_backoff_receives_each_delay(self):
+        seen: list[float] = []
+        retry_call(_Flaky(2), attempts=3, on_backoff=seen.append)
+        assert len(seen) == 2
+        assert all(delay > 0 for delay in seen)
+
+    def test_attempts_validation(self):
+        with pytest.raises(OverloadError):
+            retry_call(lambda: None, attempts=0)
+
+
+# -- stale-decision shelf -------------------------------------------------
+
+
+def _key(conn: int, src: str = PEER, service: int = VICTIM) -> CacheKey:
+    return CacheKey(src=src, service_id=service, connection_id=conn)
+
+
+class TestStaleShelf:
+    def test_shelf_survives_capacity_eviction(self):
+        cache = DecisionCache(capacity=1, stale_capacity=8)
+        cache.install(_key(1), Decision.forward(EGRESS))
+        cache.install(_key(2), Decision.forward(EGRESS))  # evicts key 1
+        assert _key(1) not in cache
+        assert cache.stale_lookup(_key(1)) is not None
+        assert cache.stats.stale_hits == 1
+
+    def test_shelf_survives_random_eviction(self):
+        cache = DecisionCache(capacity=64, stale_capacity=64)
+        for conn in range(8):
+            cache.install(_key(conn), Decision.forward(EGRESS))
+        cache.evict_random_fraction(1.0)
+        assert len(cache) == 0
+        assert cache.stale_count == 8
+        assert cache.stale_lookup(_key(3)) is not None
+
+    def test_shelf_is_lru_bounded(self):
+        cache = DecisionCache(capacity=64, stale_capacity=2)
+        for conn in range(3):
+            cache.install(_key(conn), Decision.forward(EGRESS))
+        assert cache.stale_count == 2
+        assert cache.stats.stale_evictions == 1
+        assert cache.stale_lookup(_key(0)) is None  # the LRU victim
+        assert cache.stats.stale_misses == 1
+
+    def test_zero_capacity_disables_shelf(self):
+        cache = DecisionCache(capacity=64, stale_capacity=0)
+        cache.install(_key(1), Decision.forward(EGRESS))
+        assert cache.stale_count == 0
+        assert cache.stale_lookup(_key(1)) is None
+
+    def test_invalidate_purges_shelf(self):
+        cache = DecisionCache(capacity=64)
+        cache.install(_key(1), Decision.forward(EGRESS))
+        cache.invalidate(_key(1))
+        assert cache.stale_lookup(_key(1)) is None
+
+    def test_invalidate_connection_purges_shelf(self):
+        cache = DecisionCache(capacity=1)
+        cache.install(_key(1), Decision.forward(EGRESS))
+        cache.install(_key(9), Decision.forward(EGRESS))  # evicts key 1 live
+        # Key 1 now lives only on the shelf; teardown must still reach it.
+        cache.invalidate_connection(VICTIM, 1)
+        assert cache.stale_lookup(_key(1)) is None
+        assert cache.stale_lookup(_key(9)) is not None
+
+    def test_invalidate_by_target_purges_shelf(self):
+        cache = DecisionCache(capacity=64)
+        cache.install(_key(1), Decision.forward(EGRESS))
+        cache.install(_key(2), Decision.forward(DEGRADE_PEER))
+        cache.invalidate_by_target(EGRESS)
+        assert cache.stale_lookup(_key(1)) is None
+        assert cache.stale_lookup(_key(2)) is not None
+
+    def test_clear_stale_wipes_shelf(self):
+        cache = DecisionCache(capacity=64)
+        for conn in range(4):
+            cache.install(_key(conn), Decision.forward(EGRESS))
+        assert cache.clear_stale() == 4
+        assert cache.stale_count == 0
+
+    def test_stale_capacity_validation(self):
+        with pytest.raises(CacheError):
+            DecisionCache(stale_capacity=-1)
+
+
+# -- policy + admission validation ---------------------------------------
+
+
+class TestPolicyAndAdmission:
+    def test_fail_open_requires_peer(self):
+        with pytest.raises(OverloadError):
+            ServicePolicy(degrade=DegradeMode.FAIL_OPEN)
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(OverloadError):
+            ServicePolicy(deadline=0.0)
+
+    def test_admission_config_validation(self):
+        with pytest.raises(OverloadError):
+            AdmissionConfig(max_parked=0)
+        with pytest.raises(OverloadError):
+            AdmissionConfig(punt_rate=0.0)
+
+    def test_admission_refuses_on_queue_depth(self):
+        control = AdmissionControl(AdmissionConfig(max_parked=4))
+        assert control.admit(0.0, queue_depth=3)
+        assert not control.admit(0.0, queue_depth=4)
+
+    def test_admission_rate_limits_punts(self):
+        control = AdmissionControl(
+            AdmissionConfig(max_parked=100, punt_rate=1.0, punt_burst=2)
+        )
+        assert control.admit(0.0, 0)
+        assert control.admit(0.0, 0)
+        assert not control.admit(0.0, 0)  # burst spent, no time elapsed
+        assert control.admit(10.0, 0)  # tokens refilled
+
+
+# -- terminus end-to-end --------------------------------------------------
+
+
+class _ForwardingService(ServiceModule):
+    """Forwards every punt to EGRESS without installing (stays cold)."""
+
+    SERVICE_ID = VICTIM
+    NAME = "forwarding"
+
+    def handle_packet(self, header, packet):
+        return Verdict.forward(EGRESS, header, packet.payload)
+
+    def handle_control(self, header, packet):
+        return Verdict.drop()
+
+
+class _ErroringService(_ForwardingService):
+    def handle_packet(self, header, packet):
+        raise ServiceError("broken handler")
+
+
+class _PuntRig:
+    """One SN with a cold service and a recording transmit sink."""
+
+    def __init__(self, service: ServiceModule | None = None) -> None:
+        self.sim = Simulator()
+        self.node = ServiceNode(self.sim, "sn", SN_ADDR)
+        self.terminus = self.node.terminus
+        self.sent: list[tuple[str, ILPPacket]] = []
+        self.terminus.set_transmit(
+            lambda peer, pkt: self.sent.append((peer, pkt)) or True
+        )
+        secret = pairwise_secret(SN_ADDR, PEER)
+        self.node.keystore.establish(PEER, secret)
+        self.tx = PSPContext(secret)
+        for peer in (EGRESS, DEGRADE_PEER):
+            self.node.keystore.establish(peer, pairwise_secret(SN_ADDR, peer))
+        self.node.env.load(service or _ForwardingService())
+
+    def inject(self, conn: int = 1, flags: Flags = Flags.NONE) -> None:
+        header = ILPHeader(
+            service_id=VICTIM, connection_id=conn, flags=flags
+        )
+        packet = ILPPacket(
+            l3=L3Header(src=PEER, dst=SN_ADDR),
+            ilp_wire=self.tx.seal(header.encode()),
+            payload=make_payload(b"z" * 8),
+        )
+        self.terminus.receive(packet)
+
+
+class TestTerminusOverload:
+    def test_hung_service_without_policy_uses_default_deadline(self):
+        rig = _PuntRig()
+        rig.node.env.inject_hang(VICTIM)
+        rig.inject()
+        guard = rig.terminus.overload
+        assert guard.stats.deadline_misses == 1
+        assert rig.terminus.stats.drops_by_service == 1
+        assert rig.terminus.stats.drops_degraded == 0
+
+    def test_deadline_miss_fails_closed_with_obs(self):
+        rig = _PuntRig()
+        obs = rig.node.enable_observability()
+        rig.node.env.inject_hang(VICTIM)
+        rig.node.set_service_policy(VICTIM, ServicePolicy(deadline=1e-3))
+        rig.inject()
+        guard = rig.terminus.overload
+        assert guard.stats.deadline_misses == 1
+        assert guard.stats.degraded_closed == 1
+        assert rig.terminus.stats.drops_degraded == 1
+        assert obs.deadline_misses.value == 1
+        assert rig.sent == []
+
+    def test_fail_open_forwards_to_designated_peer(self):
+        rig = _PuntRig()
+        rig.node.env.inject_hang(VICTIM)
+        rig.node.set_service_policy(
+            VICTIM,
+            ServicePolicy(
+                deadline=1e-3,
+                degrade=DegradeMode.FAIL_OPEN,
+                fail_open_peer=DEGRADE_PEER,
+            ),
+        )
+        rig.inject()
+        guard = rig.terminus.overload
+        assert guard.stats.degraded_open == 1
+        assert [peer for peer, _ in rig.sent] == [DEGRADE_PEER]
+        assert rig.sent[0][1].payload.data == b"z" * 8
+
+    def test_fail_static_serves_stale_decision(self):
+        rig = _PuntRig()
+        rig.node.env.inject_hang(VICTIM)
+        rig.node.set_service_policy(
+            VICTIM,
+            ServicePolicy(deadline=1e-3, degrade=DegradeMode.FAIL_STATIC),
+        )
+        cache = rig.terminus.cache
+        cache.install(_key(7), Decision.forward(EGRESS))
+        cache.evict_random_fraction(1.0)  # live entry gone, shelf survives
+        rig.inject(conn=7)
+        guard = rig.terminus.overload
+        assert guard.stats.degraded_static == 1
+        assert [peer for peer, _ in rig.sent] == [EGRESS]
+
+    def test_fail_static_miss_falls_closed(self):
+        rig = _PuntRig()
+        rig.node.env.inject_hang(VICTIM)
+        rig.node.set_service_policy(
+            VICTIM,
+            ServicePolicy(deadline=1e-3, degrade=DegradeMode.FAIL_STATIC),
+        )
+        rig.inject(conn=9)
+        guard = rig.terminus.overload
+        assert guard.stats.static_misses == 1
+        assert guard.stats.degraded_closed == 1
+
+    def test_slowdown_within_deadline_succeeds(self):
+        rig = _PuntRig()
+        rig.node.env.inject_slowdown(VICTIM, 1e-4)
+        rig.node.set_service_policy(VICTIM, ServicePolicy(deadline=1e-2))
+        rig.inject()
+        assert rig.terminus.overload.stats.deadline_misses == 0
+        assert [peer for peer, _ in rig.sent] == [EGRESS]
+
+    def test_slowdown_beyond_deadline_times_out(self):
+        rig = _PuntRig()
+        rig.node.env.inject_slowdown(VICTIM, 1e-1)
+        rig.node.set_service_policy(VICTIM, ServicePolicy(deadline=1e-3))
+        rig.inject()
+        assert rig.terminus.overload.stats.deadline_misses == 1
+        assert rig.sent == []
+
+    def test_service_errors_feed_the_breaker(self):
+        rig = _PuntRig(_ErroringService())
+        rig.node.set_service_policy(
+            VICTIM,
+            ServicePolicy(
+                breaker=BreakerConfig(
+                    min_samples=2, ewma_alpha=1.0, open_jitter=0.0
+                )
+            ),
+        )
+        rig.inject(conn=1)
+        rig.inject(conn=2)
+        breaker = rig.terminus.overload.breakers[VICTIM]
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.stats.errors == 2
+
+    def test_breaker_trip_short_circuit_and_recovery(self):
+        rig = _PuntRig()
+        obs = rig.node.enable_observability()
+        rig.node.env.inject_hang(VICTIM)
+        rig.node.set_service_policy(
+            VICTIM,
+            ServicePolicy(
+                deadline=1e-3,
+                breaker=BreakerConfig(
+                    min_samples=1,
+                    ewma_alpha=1.0,
+                    open_duration=0.5,
+                    open_jitter=0.0,
+                    half_open_probes=2,
+                    close_after=1,
+                ),
+            ),
+        )
+        rig.inject(conn=1)  # timeout -> trip
+        breaker = rig.terminus.overload.breakers[VICTIM]
+        assert breaker.state is BreakerState.OPEN
+        assert obs.breaker_trips.value == 1
+        punts_after_trip = rig.terminus.stats.punts
+        rig.inject(conn=2)  # short-circuited, never invoked
+        guard = rig.terminus.overload
+        assert guard.stats.short_circuits == 1
+        assert rig.terminus.stats.punts == punts_after_trip
+        assert obs.short_circuits.value == 1
+        assert obs.breakers_open.value == 1.0
+        # Heal the service and let the open period elapse in sim time.
+        cleared_at = rig.sim.now
+        assert rig.node.env.clear_service_fault(VICTIM)
+        rig.sim.run(until=1.0)
+        rig.inject(conn=3)  # half-open probe succeeds -> closed
+        assert breaker.state is BreakerState.CLOSED
+        recovered = breaker.recovered_at()
+        assert recovered is not None
+        assert recovered - cleared_at <= 2.0
+        assert [peer for peer, _ in rig.sent] == [EGRESS]
+
+    def test_barriers_are_exempt_from_short_circuit(self):
+        rig = _PuntRig()
+        rig.node.env.inject_hang(VICTIM)
+        rig.node.set_service_policy(
+            VICTIM,
+            ServicePolicy(
+                deadline=1e-3,
+                degrade=DegradeMode.FAIL_OPEN,
+                fail_open_peer=DEGRADE_PEER,
+                breaker=BreakerConfig(
+                    min_samples=1, ewma_alpha=1.0, open_jitter=0.0
+                ),
+            ),
+        )
+        rig.inject(conn=1)  # trips the breaker
+        punts = rig.terminus.stats.punts
+        rig.inject(conn=1, flags=Flags.CONTROL)
+        # The barrier still punted (no short-circuit) and failed CLOSED,
+        # never open: teardown must not be forwarded unserviced.
+        assert rig.terminus.stats.punts == punts + 1
+        guard = rig.terminus.overload
+        assert guard.stats.degraded_closed == 1
+        assert [peer for peer, _ in rig.sent] == [DEGRADE_PEER]  # data only
+
+    def test_admission_sheds_cold_leads_only(self):
+        rig = _PuntRig()
+        obs = rig.node.enable_observability()
+        rig.node.enable_admission_control(
+            AdmissionConfig(max_parked=64, punt_rate=1.0, punt_burst=1)
+        )
+        rig.inject(conn=1)  # admitted (burst token)
+        rig.inject(conn=2)  # shed: bucket empty at the same instant
+        rig.inject(conn=3, flags=Flags.LAST)  # barrier: never shed
+        stats = rig.terminus.stats
+        guard = rig.terminus.overload
+        assert stats.drops_shed == 1
+        assert guard.stats.shed_packets == 1
+        assert obs.sheds.value == 1
+        assert stats.punts == 2  # the admitted lead and the barrier
+
+    def test_crash_resets_breakers_and_clears_shelf(self):
+        rig = _PuntRig()
+        rig.node.env.inject_hang(VICTIM)
+        rig.node.set_service_policy(
+            VICTIM,
+            ServicePolicy(
+                deadline=1e-3,
+                breaker=BreakerConfig(
+                    min_samples=1, ewma_alpha=1.0, open_jitter=0.0
+                ),
+            ),
+        )
+        cache = rig.terminus.cache
+        cache.install(_key(5), Decision.forward(EGRESS))
+        rig.inject(conn=1)
+        assert rig.terminus.overload.breakers[VICTIM].state is BreakerState.OPEN
+        assert cache.stale_count > 0
+        rig.node.crash()
+        # Breakers restart closed (volatile soft state); the shelf is gone
+        # (a crashed node must not serve pre-crash stale decisions); the
+        # policy itself survives (control-plane configuration).
+        assert rig.terminus.overload.breakers[VICTIM].state is BreakerState.CLOSED
+        assert cache.stale_count == 0
+        assert VICTIM in rig.terminus.overload.policies
+
+
+# -- monitoring regression (mirrors TestSnapshotDropAccounting) ----------
+
+
+class TestSnapshotOverloadAccounting:
+    def test_shed_and_degraded_drops_count_in_snapshot(self):
+        node = ServiceNode(Simulator(), "sn", SN_ADDR)
+        node.terminus.stats.drops_shed += 2
+        node.terminus.stats.drops_degraded += 3
+        snap = snapshot_sn(node)
+        assert snap.drops == 5
+
+    def test_snapshot_reports_breaker_states(self):
+        node = ServiceNode(Simulator(), "sn", SN_ADDR)
+        node.set_service_policy(
+            VICTIM,
+            ServicePolicy(
+                breaker=BreakerConfig(
+                    min_samples=1, ewma_alpha=1.0, open_jitter=0.0
+                )
+            ),
+        )
+        assert snapshot_sn(node).breakers_open == 0
+        breaker = node.terminus.overload.breakers[VICTIM]
+        breaker.record_timeout(0.0)
+        snap = snapshot_sn(node)
+        assert snap.breakers_open == 1
+        assert snap.breakers_half_open == 0
+        breaker.allow(10.0)  # open period elapsed -> half-open probe
+        snap = snapshot_sn(node)
+        assert snap.breakers_open == 0
+        assert snap.breakers_half_open == 1
+
+    def test_snapshot_reports_overload_counters(self):
+        node = ServiceNode(Simulator(), "sn", SN_ADDR)
+        guard = node.terminus.overload
+        guard.stats.shed_packets = 4
+        guard.stats.deadline_misses = 2
+        node.terminus.stats.punts = 8
+        node.cache.install(_key(1), Decision.forward(EGRESS))
+        snap = snapshot_sn(node)
+        assert snap.shed == 4
+        assert snap.deadline_misses == 2
+        assert snap.deadline_miss_rate == 0.25
+        assert snap.stale_entries == 1
+
+    def test_deadline_miss_rate_is_zero_without_punts(self):
+        snap = snapshot_sn(ServiceNode(Simulator(), "sn", SN_ADDR))
+        assert snap.deadline_miss_rate == 0.0
+
+    def test_report_rows_carry_overload_columns(self):
+        node = ServiceNode(Simulator(), "sn", SN_ADDR)
+        node.set_service_policy(
+            VICTIM,
+            ServicePolicy(
+                breaker=BreakerConfig(
+                    min_samples=1, ewma_alpha=1.0, open_jitter=0.0
+                )
+            ),
+        )
+        node.terminus.overload.breakers[VICTIM].record_timeout(0.0)
+        node.terminus.overload.stats.shed_packets = 7
+        node.terminus.stats.drops_shed = 7
+        report = FederationReport(taken_at=0.0, snapshots=[snapshot_sn(node)])
+        (row,) = report.to_rows()
+        assert row["shed"] == 7
+        assert row["brk!"] == 1
+        assert row["drops"] == 7
